@@ -1,0 +1,6 @@
+"""Make the shared harness importable from every bench module."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,32 @@
+"""Extension: SimGCL noise-view control for the learnable augmentor.
+
+SimGCL (the paper's reference [12]) argues random embedding noise can
+replace graph augmentation.  This bench runs that control against
+GraphAug on the sparse dataset: if plain noise views matched the
+GIB-regularized learnable augmentor, GraphAug's central component would be
+unnecessary.  GraphAug should at least match it.
+"""
+
+import pytest
+
+from harness import fmt, format_table, once, run_model
+
+DATASET = "retail_rocket"
+MODELS = ("simgcl", "graphaug")
+
+
+def run_control():
+    return {model: run_model(model, DATASET) for model in MODELS}
+
+
+@pytest.mark.benchmark(group="extension")
+def test_simgcl_noise_view_control(benchmark):
+    runs = once(benchmark, run_control)
+    rows = [[model, fmt(runs[model].metrics["recall@20"]),
+             fmt(runs[model].metrics["ndcg@20"])]
+            for model in MODELS]
+    print()
+    print(format_table(["model", "Recall@20", "NDCG@20"], rows,
+                       title=f"Extension: SimGCL control ({DATASET})"))
+    assert runs["graphaug"].metrics["recall@20"] >= \
+        0.95 * runs["simgcl"].metrics["recall@20"]

@@ -1,0 +1,42 @@
+"""Figure 2 — component-wise ablation of GraphAug.
+
+Compares the full model against "w/o Mixhop", "w/o GIB" and "w/o CL" on
+Gowalla and Retail Rocket (Recall@20/40, NDCG@20/40), the paper's Fig 2
+bars.  Every ablation should cost accuracy.
+"""
+
+import pytest
+
+from harness import fmt, format_table, once, run_graphaug_variant
+
+VARIANTS = ("full", "wo_mixhop", "wo_gib", "wo_cl")
+DATASETS_FIG2 = ("gowalla", "retail_rocket")
+METRIC_KEYS = ("recall@20", "recall@40", "ndcg@20", "ndcg@40")
+
+
+def run_fig2():
+    return {(variant, dataset): run_graphaug_variant(variant, dataset)
+            for dataset in DATASETS_FIG2 for variant in VARIANTS}
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_component_ablation(benchmark):
+    runs = once(benchmark, run_fig2)
+    for dataset in DATASETS_FIG2:
+        rows = [[variant] + [fmt(runs[(variant, dataset)].metrics[k])
+                             for k in METRIC_KEYS]
+                for variant in VARIANTS]
+        print()
+        print(format_table(["variant"] + list(METRIC_KEYS), rows,
+                           title=f"Figure 2 ({dataset}): ablation"))
+
+    for dataset in DATASETS_FIG2:
+        full = runs[("full", dataset)].metrics["recall@20"]
+        for variant in ("wo_gib", "wo_cl"):
+            ablated = runs[(variant, dataset)].metrics["recall@20"]
+            assert full >= 0.97 * ablated, (
+                f"{variant} should not beat the full model on {dataset}: "
+                f"{full:.4f} vs {ablated:.4f}")
+    # removing CL hurts on the sparse dataset (the paper's strongest bar)
+    assert runs[("full", "retail_rocket")].metrics["recall@20"] > \
+        runs[("wo_cl", "retail_rocket")].metrics["recall@20"]

@@ -1,0 +1,42 @@
+"""Table I — Experimental Data Statistics.
+
+Regenerates the dataset summary table (users, items, interactions,
+density) for the three synthetic profile datasets and checks the paper's
+relative ordering: Gowalla is by far the densest; Retail Rocket and Amazon
+are an order sparser, with Retail Rocket having the fewest interactions
+per user.
+"""
+
+import pytest
+
+from harness import DATASETS, format_table, get_dataset, once
+
+
+def build_statistics():
+    rows = []
+    stats = {}
+    for name in DATASETS:
+        dataset = get_dataset(name)
+        s = dataset.statistics()
+        stats[name] = s
+        rows.append([name, int(s["users"]), int(s["items"]),
+                     int(s["interactions"]), f"{s['density']:.2e}"])
+    print()
+    print(format_table(
+        ["Dataset", "User #", "Item #", "Interaction #", "Density"],
+        rows, title="Table I: experimental data statistics"))
+    return stats
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_dataset_statistics(benchmark):
+    stats = once(benchmark, build_statistics)
+    # paper shape: gowalla much denser than the other two
+    assert stats["gowalla"]["density"] > 1.5 * stats["amazon"]["density"]
+    assert stats["gowalla"]["density"] > 1.5 * \
+        stats["retail_rocket"]["density"]
+    # retail rocket has the fewest interactions per user
+    per_user = {name: s["interactions"] / s["users"]
+                for name, s in stats.items()}
+    assert per_user["retail_rocket"] < per_user["amazon"]
+    assert per_user["retail_rocket"] < per_user["gowalla"]

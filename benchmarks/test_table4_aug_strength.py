@@ -1,0 +1,54 @@
+"""Table IV — influence of graph-sampling reparameterization strength.
+
+Sweeps the edge-sampling threshold ``xi`` over {0.0, 0.2, 0.4, 0.6, 0.8}
+on all three datasets, exactly the paper's grid.  The paper finds a
+balanced ratio of 0.2 works best: "a larger graph sampling threshold
+introduces more perturbations ... conversely, a smaller xi value may still
+incorporate some noise".
+"""
+
+import pytest
+
+from harness import (BENCH_MODEL_CONFIG, DATASETS, fmt, format_table, once,
+                     run_model)
+
+THRESHOLDS = (0.0, 0.2, 0.4, 0.6, 0.8)
+METRIC_KEYS = ("recall@20", "recall@40", "ndcg@20", "ndcg@40")
+
+
+def run_sweep():
+    results = {}
+    for dataset in DATASETS:
+        for xi in THRESHOLDS:
+            config = BENCH_MODEL_CONFIG.with_overrides(edge_threshold=xi)
+            run = run_model("graphaug", dataset, model_config=config,
+                            cache_key_extra=("xi", xi))
+            results[(dataset, xi)] = run.metrics
+    return results
+
+
+def print_sweep(results):
+    for dataset in DATASETS:
+        rows = [[fmt(xi, 1)] + [fmt(results[(dataset, xi)][k])
+                                for k in METRIC_KEYS]
+                for xi in THRESHOLDS]
+        print()
+        print(format_table(["Aug Ratio"] + list(METRIC_KEYS), rows,
+                           title=f"Table IV ({dataset}): graph sampling "
+                                 f"reparameterization strength"))
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_augmentation_strength(benchmark):
+    results = once(benchmark, run_sweep)
+    print_sweep(results)
+    for dataset in DATASETS:
+        by_xi = {xi: results[(dataset, xi)]["recall@20"]
+                 for xi in THRESHOLDS}
+        # the paper's sweet spot: a moderate threshold beats the extremes;
+        # allow the optimum to land on 0.2 or 0.4 (run noise), but the
+        # best moderate setting must beat the most aggressive one (0.8)
+        moderate = max(by_xi[0.2], by_xi[0.4])
+        assert moderate >= by_xi[0.8], (
+            f"{dataset}: moderate thresholds should beat aggressive "
+            f"sampling: {by_xi}")

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Bring-your-own-data: train GraphAug on a TSV edge list.
+
+Shows the file-loading path a downstream user of this library would take
+with a real Gowalla/Retail Rocket/Amazon dump (``user item`` per line).
+For a self-contained demo this script first writes such a file from a
+synthetic dataset, then loads it back and trains.
+
+    python examples/custom_dataset.py [path/to/edges.tsv]
+"""
+
+import os
+import sys
+import tempfile
+
+from repro.data import load_tsv, save_tsv, tiny_dataset
+from repro.models import build_model
+from repro.train import ModelConfig, TrainConfig, fit_model
+
+
+def demo_file() -> str:
+    """Write a demo edge list to a temp file and return its path."""
+    path = os.path.join(tempfile.gettempdir(), "repro_demo_edges.tsv")
+    save_tsv(tiny_dataset(seed=5, num_users=120, num_items=90,
+                          mean_degree=10.0), path)
+    print(f"wrote demo edge list to {path}")
+    return path
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else demo_file()
+
+    dataset = load_tsv(path, test_fraction=0.2, seed=0,
+                       min_interactions=2)
+    print(f"loaded: {dataset}")
+
+    model = build_model("graphaug", dataset,
+                        ModelConfig(embedding_dim=32, num_layers=2,
+                                    ssl_weight=1.0), seed=0)
+    result = fit_model(model, dataset,
+                       TrainConfig(epochs=40, batch_size=256,
+                                   eval_every=10), seed=0)
+    print("best metrics:")
+    for key, value in sorted(result.best_metrics.items()):
+        print(f"  {key:12s} {value:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Case study: does GraphAug identify planted noisy edges? (Fig 6 scenario)
+
+Plants known-fake user-item edges into a clean training graph, trains
+GraphAug, and compares two per-edge signals between real and fake edges:
+
+* the learned user-item embedding similarity (the paper's Fig 6 shows the
+  model "disregards connections to items with low similarity values");
+* the augmentor's edge keep-probability.
+
+    python examples/denoising_case_study.py
+"""
+
+import numpy as np
+
+from repro.data import load_profile
+from repro.graph import inject_fake_edges
+from repro.models import build_model
+from repro.train import ModelConfig, TrainConfig, fit_model
+
+
+def main():
+    rng = np.random.default_rng(0)
+    dataset = load_profile("amazon", seed=0)
+    noisy_graph, fake_users, fake_items = inject_fake_edges(
+        dataset.train, ratio=0.15, rng=rng)
+    noisy = dataset.with_train_graph(noisy_graph)
+    print(f"planted {len(fake_users)} fake edges into {dataset.name}")
+
+    model = build_model("graphaug", noisy,
+                        ModelConfig(embedding_dim=32, num_layers=3,
+                                    ssl_weight=1.0), seed=0)
+    fit_model(model, noisy, TrainConfig(epochs=60, batch_size=512,
+                                        eval_every=60), seed=0)
+
+    # learned similarity on real vs fake edges
+    users, items = model.propagate()
+    u_emb = users.data / np.linalg.norm(users.data, axis=1, keepdims=True)
+    i_emb = items.data / np.linalg.norm(items.data, axis=1, keepdims=True)
+
+    real_u, real_i = dataset.train.edges()
+    real_sims = np.einsum("ij,ij->i", u_emb[real_u], i_emb[real_i])
+    fake_sims = np.einsum("ij,ij->i", u_emb[fake_users], i_emb[fake_items])
+    print(f"\nmean embedding similarity:")
+    print(f"  real edges: {real_sims.mean():.4f}")
+    print(f"  fake edges: {fake_sims.mean():.4f}")
+
+    # augmentor keep-probability on real vs fake observed edges
+    probs = model.edge_keep_probabilities()
+    cands = model.candidates
+    fake_set = set(zip(fake_users.tolist(),
+                       (fake_items + dataset.num_users).tolist()))
+    observed = cands.observed
+    is_fake = np.array([
+        (int(u), int(i)) in fake_set
+        for u, i in zip(cands.user_nodes, cands.item_nodes)])
+    real_keep = probs[observed & ~is_fake].mean()
+    fake_keep = probs[observed & is_fake].mean()
+    print(f"\nmean augmentor keep-probability:")
+    print(f"  real edges: {real_keep:.4f}")
+    print(f"  fake edges: {fake_keep:.4f}")
+
+    if fake_sims.mean() < real_sims.mean():
+        print("\n=> planted noise receives lower similarity, as in Fig 6.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Popularity-bias analysis of trained recommenders.
+
+The paper motivates robust augmentation partly by popularity bias in noisy
+implicit feedback.  This example trains LightGCN and GraphAug on the same
+long-tailed dataset and compares beyond-accuracy metrics: catalogue
+coverage, Gini exposure concentration and novelty.
+
+    python examples/popularity_bias.py
+"""
+
+from repro.data import load_profile, popularity_statistics
+from repro.eval import beyond_accuracy_report, evaluate_scores
+from repro.models import build_model
+from repro.train import ModelConfig, TrainConfig, fit_model
+
+
+def main():
+    dataset = load_profile("gowalla", seed=0)
+    stats = popularity_statistics(dataset.train)
+    print(f"dataset: {dataset}")
+    print(f"long-tail: top-decile items hold "
+          f"{stats['top_decile_share']:.0%} of interactions, "
+          f"skewness {stats['degree_skewness']:.2f}\n")
+
+    config = ModelConfig(embedding_dim=32, num_layers=3, ssl_weight=1.0)
+    train_config = TrainConfig(epochs=50, batch_size=512, eval_every=25)
+
+    print(f"{'model':>10s} | {'recall@20':>9s} {'coverage':>9s} "
+          f"{'gini':>6s} {'novelty':>8s}")
+    for name in ("lightgcn", "graphaug"):
+        model = build_model(name, dataset, config, seed=0)
+        fit_model(model, dataset, train_config, seed=0)
+        scores = model.score_all_users()
+        accuracy = evaluate_scores(scores, dataset, ks=(20,),
+                                   metrics=("recall",))
+        beyond = beyond_accuracy_report(scores, dataset, k=20)
+        print(f"{name:>10s} | {accuracy['recall@20']:9.4f} "
+              f"{beyond['coverage@20']:9.3f} {beyond['gini@20']:6.3f} "
+              f"{beyond['novelty@20']:8.3f}")
+
+
+if __name__ == "__main__":
+    main()

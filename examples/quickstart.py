@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Quickstart: train GraphAug on a synthetic Gowalla-profile dataset.
+
+Runs in under a minute on one CPU core:
+
+    python examples/quickstart.py
+
+Demonstrates the core public API: dataset loading, model construction via
+the registry, training with the shared Trainer, and top-K evaluation.
+"""
+
+import numpy as np
+
+from repro.data import load_profile
+from repro.eval import evaluate_scores, rank_items
+from repro.models import build_model
+from repro.train import ModelConfig, TrainConfig, fit_model
+
+
+def main():
+    # 1. Data: a scaled-down statistical equivalent of the paper's Gowalla
+    dataset = load_profile("gowalla", seed=0)
+    print(f"dataset: {dataset}")
+    print(f"density: {dataset.density:.4f}\n")
+
+    # 2. Model: GraphAug with the paper's default hyperparameters
+    config = ModelConfig(embedding_dim=32, num_layers=3, ssl_weight=1.0)
+    model = build_model("graphaug", dataset, config, seed=0)
+    print(f"model: {type(model).__name__} "
+          f"({model.num_parameters():,} parameters)\n")
+
+    # 3. Train with the shared loop (BPR + GIB + contrastive, Eq 16)
+    train_config = TrainConfig(epochs=60, batch_size=512, eval_every=20,
+                               verbose=True)
+    result = fit_model(model, dataset, train_config, seed=0)
+
+    # 4. Evaluate: full ranking with train positives masked
+    print(f"\ntrained in {result.train_seconds:.1f}s; best epoch "
+          f"{result.best_epoch}")
+    for key, value in sorted(result.best_metrics.items()):
+        print(f"  {key:12s} {value:.4f}")
+
+    # 5. Recommend: top-5 items for one user
+    scores = model.score_all_users()
+    user = int(dataset.test_users()[0])
+    top5 = rank_items(scores, dataset.train.matrix, user, k=5)
+    print(f"\ntop-5 recommendations for user {user}: {top5.tolist()}")
+    print(f"held-out positives: {dataset.test_items_of(user).tolist()}")
+
+
+if __name__ == "__main__":
+    main()

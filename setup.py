@@ -1,0 +1,5 @@
+"""Legacy setup shim: this environment has no `wheel` package, so modern
+PEP-517 editable installs cannot build; `setup.py develop` still works."""
+from setuptools import setup
+
+setup()

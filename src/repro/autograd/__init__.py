@@ -1,0 +1,31 @@
+"""``repro.autograd`` — a from-scratch reverse-mode autodiff engine on numpy.
+
+Public surface:
+
+* :class:`Tensor`, :func:`concat`, :func:`stack`, :func:`where`,
+  :class:`no_grad` — the core array type and graph ops.
+* :mod:`repro.autograd.functional` — losses (BPR, InfoNCE, Gaussian KL, ...).
+* :class:`Module` / :class:`Parameter` / layers — the nn building blocks.
+* Optimizers: :class:`SGD`, :class:`Adam`, :class:`AdamW`.
+* :func:`spmm` / :func:`weighted_spmm` — sparse propagation primitives.
+* :func:`gradcheck` — finite-difference certification used by the tests.
+"""
+
+from .tensor import (Tensor, as_tensor, concat, stack, where, zeros, ones,
+                     no_grad, is_grad_enabled, unbroadcast)
+from .module import Module, Parameter, Linear, MLP, Embedding, Sequential
+from .optim import SGD, Adam, AdamW, ExponentialLR, Optimizer
+from .sparse import spmm, weighted_spmm, coo_from_scipy
+from .gradcheck import gradcheck, numerical_gradient
+from . import functional
+from . import init
+
+__all__ = [
+    "Tensor", "as_tensor", "concat", "stack", "where", "zeros", "ones",
+    "no_grad", "is_grad_enabled", "unbroadcast",
+    "Module", "Parameter", "Linear", "MLP", "Embedding", "Sequential",
+    "SGD", "Adam", "AdamW", "ExponentialLR", "Optimizer",
+    "spmm", "weighted_spmm", "coo_from_scipy",
+    "gradcheck", "numerical_gradient",
+    "functional", "init",
+]

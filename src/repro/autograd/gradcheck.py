@@ -1,0 +1,64 @@
+"""Finite-difference gradient checking for the autograd engine.
+
+Used heavily by the test-suite to certify every op against central
+differences before any model is trusted.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def numerical_gradient(func: Callable[..., Tensor],
+                       inputs: Sequence[Tensor],
+                       index: int,
+                       eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``func(*inputs)`` w.r.t. one input."""
+    target = inputs[index]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = func(*inputs).data.item()
+        flat[i] = original - eps
+        minus = func(*inputs).data.item()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(func: Callable[..., Tensor],
+              inputs: Sequence[Tensor],
+              eps: float = 1e-6,
+              atol: float = 1e-5,
+              rtol: float = 1e-4) -> bool:
+    """Compare autograd gradients of scalar ``func`` against finite differences.
+
+    Raises ``AssertionError`` with a diagnostic message on mismatch; returns
+    ``True`` on success so it can be used inside ``assert gradcheck(...)``.
+    """
+    for tensor in inputs:
+        tensor.grad = None
+    out = func(*inputs)
+    if out.size != 1:
+        raise ValueError("gradcheck requires a scalar-valued function")
+    out.backward()
+    for idx, tensor in enumerate(inputs):
+        if not tensor.requires_grad:
+            continue
+        analytic = tensor.grad
+        if analytic is None:
+            analytic = np.zeros_like(tensor.data)
+        numeric = numerical_gradient(func, inputs, idx, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(analytic - numeric))
+            raise AssertionError(
+                f"gradient mismatch on input {idx}: max abs err {worst:.3e}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}")
+    return True

@@ -1,0 +1,38 @@
+"""Weight initialization schemes (Glorot/Xavier and friends)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(shape, rng: np.random.Generator,
+                   gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform: U(-a, a) with a = gain * sqrt(6 / (fan_in+fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape, rng: np.random.Generator,
+                  gain: float = 1.0) -> np.ndarray:
+    """Glorot normal: N(0, gain^2 * 2 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def normal(shape, rng: np.random.Generator, std: float = 0.1) -> np.ndarray:
+    """Zero-mean Gaussian initialization with standard deviation ``std``."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform(shape, rng: np.random.Generator, bound: float = 0.1) -> np.ndarray:
+    """Uniform initialization on ``[-bound, bound]``."""
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def _fans(shape) -> tuple:
+    shape = tuple(shape)
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    return shape[0], shape[1]

@@ -1,0 +1,185 @@
+"""A minimal Module/Parameter system mirroring the torch.nn API surface.
+
+Modules register :class:`Parameter` attributes and child modules
+automatically; :meth:`Module.parameters` walks the tree.  Only the layers the
+recommenders in this repo actually use are provided: ``Linear``, ``MLP``,
+``Embedding`` and ``Sequential``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from . import init as init_schemes
+from .tensor import Tensor, concat
+
+
+class Parameter(Tensor):
+    """A Tensor that is a trainable leaf of a :class:`Module`."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class with automatic parameter / submodule registration."""
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield every trainable parameter in this module's subtree."""
+        seen = set()
+        for param in self._parameters.values():
+            if id(param) not in seen:
+                seen.add(id(param))
+                yield param
+        for module in self._modules.values():
+            for param in module.parameters():
+                if id(param) not in seen:
+                    seen.add(id(param))
+                    yield param
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.grad = None
+
+    def train(self) -> "Module":
+        self.training = True
+        for module in self._modules.values():
+            module.train()
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        for module in self._modules.values():
+            module.eval()
+        return self
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: param.data.copy()
+                for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        if missing:
+            raise KeyError(f"state dict is missing parameters: {missing}")
+        for name, param in own.items():
+            if param.data.shape != state[name].shape:
+                raise ValueError(f"shape mismatch for {name}: "
+                                 f"{param.data.shape} vs {state[name].shape}")
+            param.data = state[name].astype(np.float64).copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine map ``x @ W + b`` with Xavier-uniform initialization."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init_schemes.xavier_uniform((in_features, out_features), rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Sequential(Module):
+    """Run child modules (or plain callables) in order."""
+
+    def __init__(self, *layers):
+        super().__init__()
+        self._layers: List = []
+        for i, layer in enumerate(layers):
+            if isinstance(layer, Module):
+                setattr(self, f"layer_{i}", layer)
+            self._layers.append(layer)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a configurable hidden activation.
+
+    Used by the paper's learnable augmentor to score candidate edges from
+    concatenated user/item embeddings (Eq 4).
+    """
+
+    def __init__(self, dims: Sequence[int], rng: np.random.Generator,
+                 activation: Callable[[Tensor], Tensor] = Tensor.relu,
+                 final_activation: Optional[Callable[[Tensor], Tensor]] = None):
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least input and output dims")
+        self._activation = activation
+        self._final_activation = final_activation
+        self._linears: List[Linear] = []
+        for i, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+            layer = Linear(d_in, d_out, rng)
+            setattr(self, f"linear_{i}", layer)
+            self._linears.append(layer)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for i, layer in enumerate(self._linears):
+            x = layer(x)
+            if i < len(self._linears) - 1:
+                x = self._activation(x)
+        if self._final_activation is not None:
+            x = self._final_activation(x)
+        return x
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense rows."""
+
+    def __init__(self, num_embeddings: int, dim: int,
+                 rng: np.random.Generator, std: float = 0.1):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(
+            init_schemes.normal((num_embeddings, dim), rng, std=std))
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return self.weight.take_rows(np.asarray(indices, dtype=np.int64))
+
+    def all(self) -> Tensor:
+        """Return the full table as a tensor (for full-graph propagation)."""
+        return self.weight

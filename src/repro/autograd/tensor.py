@@ -1,0 +1,605 @@
+"""A reverse-mode automatic-differentiation engine on numpy arrays.
+
+This module is the computational substrate for the whole repository.  The
+paper's models were originally written against PyTorch; this environment has
+no deep-learning framework installed, so we provide one: a tape-based,
+vectorized autograd ``Tensor`` supporting the operations graph neural
+recommenders need (dense linear algebra, elementwise math, reductions,
+row gather / scatter-add, concatenation and stable softmax primitives).
+
+Design notes
+------------
+* Values are stored as ``numpy.ndarray`` of ``float64``.  The datasets in this
+  reproduction are small (hundreds of nodes), so we favour the numerical
+  headroom of double precision, which also makes finite-difference gradient
+  checking tight.
+* The graph is dynamic (define-by-run).  Each ``Tensor`` produced by an
+  operation keeps references to its parents and a backward closure; calling
+  :meth:`Tensor.backward` topologically sorts the tape and accumulates
+  gradients into ``tensor.grad``.
+* Broadcasting follows numpy semantics; gradients are reduced back to the
+  operand shape by :func:`unbroadcast`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+Scalar = Union[int, float]
+ArrayLike = Union[Scalar, Sequence, np.ndarray, "Tensor"]
+
+_grad_enabled = True
+
+
+class no_grad:
+    """Context manager that disables graph construction (inference mode)."""
+
+    def __enter__(self):
+        global _grad_enabled
+        self._prev = _grad_enabled
+        _grad_enabled = False
+        return self
+
+    def __exit__(self, *exc):
+        global _grad_enabled
+        _grad_enabled = self._prev
+        return False
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autograd tape."""
+    return _grad_enabled
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so it matches ``shape`` after numpy broadcasting.
+
+    Summation is performed over the leading dimensions added by broadcasting
+    and over any axis that was expanded from size one.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum out the extra leading axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over broadcast (size-1) axes.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=np.float64)
+
+
+def as_tensor(value: ArrayLike) -> "Tensor":
+    """Coerce ``value`` to a :class:`Tensor` (no copy if already one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=np.float64))
+
+
+class Tensor:
+    """A numpy-backed array node in a dynamically-built autograd graph.
+
+    Parameters
+    ----------
+    data:
+        Anything ``numpy.asarray`` accepts; stored as ``float64``.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` for this
+        tensor when :meth:`backward` is called downstream.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "_op")
+    __array_priority__ = 100  # make numpy defer to our reflected operators
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._op = "leaf"
+
+    # ------------------------------------------------------------------ #
+    # basic introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, op={self._op}{flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared memory, not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return self.data.item()
+
+    def detach(self) -> "Tensor":
+        """Return a new leaf tensor sharing this tensor's data."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # graph construction helper
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _make(data: np.ndarray,
+              parents: Tuple["Tensor", ...],
+              backward: Callable[[np.ndarray], None],
+              op: str) -> "Tensor":
+        """Create a non-leaf tensor recording ``backward`` on the tape."""
+        requires = _grad_enabled and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(p for p in parents if p.requires_grad)
+            out._backward = backward
+            out._op = op
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=np.float64, copy=True)
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        ``grad`` defaults to ones (so scalars need no argument, matching the
+        PyTorch convention).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not "
+                               "require grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar "
+                                   "outputs")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(_as_array(grad), dtype=np.float64)
+        if grad.shape != self.data.shape:
+            grad = np.broadcast_to(grad, self.data.shape)
+
+        # Topological order over the tape.
+        order: List[Tensor] = []
+        visited = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is None or node.grad is None:
+                continue
+            node._backward(node.grad)
+
+    # ------------------------------------------------------------------ #
+    # elementwise arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self, other
+
+        def backward(g: np.ndarray) -> None:
+            if a.requires_grad:
+                a._accumulate(unbroadcast(g, a.shape))
+            if b.requires_grad:
+                b._accumulate(unbroadcast(g, b.shape))
+
+        return Tensor._make(a.data + b.data, (a, b), backward, "add")
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        a = self
+
+        def backward(g: np.ndarray) -> None:
+            a._accumulate(-g)
+
+        return Tensor._make(-a.data, (a,), backward, "neg")
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self, other
+
+        def backward(g: np.ndarray) -> None:
+            if a.requires_grad:
+                a._accumulate(unbroadcast(g * b.data, a.shape))
+            if b.requires_grad:
+                b._accumulate(unbroadcast(g * a.data, b.shape))
+
+        return Tensor._make(a.data * b.data, (a, b), backward, "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self, other
+
+        def backward(g: np.ndarray) -> None:
+            if a.requires_grad:
+                a._accumulate(unbroadcast(g / b.data, a.shape))
+            if b.requires_grad:
+                b._accumulate(unbroadcast(-g * a.data / (b.data ** 2),
+                                          b.shape))
+
+        return Tensor._make(a.data / b.data, (a, b), backward, "div")
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: Scalar) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        a = self
+
+        def backward(g: np.ndarray) -> None:
+            a._accumulate(g * exponent * np.power(a.data, exponent - 1))
+
+        return Tensor._make(np.power(a.data, exponent), (a,), backward, "pow")
+
+    # comparison helpers return plain numpy bool arrays (non-differentiable)
+    def __gt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data > _as_array(other)
+
+    def __lt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data < _as_array(other)
+
+    def __ge__(self, other: ArrayLike) -> np.ndarray:
+        return self.data >= _as_array(other)
+
+    def __le__(self, other: ArrayLike) -> np.ndarray:
+        return self.data <= _as_array(other)
+
+    # ------------------------------------------------------------------ #
+    # elementwise functions
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        a = self
+        out_data = np.exp(a.data)
+
+        def backward(g: np.ndarray) -> None:
+            a._accumulate(g * out_data)
+
+        return Tensor._make(out_data, (a,), backward, "exp")
+
+    def log(self) -> "Tensor":
+        a = self
+
+        def backward(g: np.ndarray) -> None:
+            a._accumulate(g / a.data)
+
+        return Tensor._make(np.log(a.data), (a,), backward, "log")
+
+    def sqrt(self) -> "Tensor":
+        a = self
+        out_data = np.sqrt(a.data)
+
+        def backward(g: np.ndarray) -> None:
+            a._accumulate(g * 0.5 / out_data)
+
+        return Tensor._make(out_data, (a,), backward, "sqrt")
+
+    def sigmoid(self) -> "Tensor":
+        a = self
+        # numerically stable logistic
+        out_data = np.where(a.data >= 0,
+                            1.0 / (1.0 + np.exp(-np.clip(a.data, 0, None))),
+                            np.exp(np.clip(a.data, None, 0)) /
+                            (1.0 + np.exp(np.clip(a.data, None, 0))))
+
+        def backward(g: np.ndarray) -> None:
+            a._accumulate(g * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (a,), backward, "sigmoid")
+
+    def tanh(self) -> "Tensor":
+        a = self
+        out_data = np.tanh(a.data)
+
+        def backward(g: np.ndarray) -> None:
+            a._accumulate(g * (1.0 - out_data ** 2))
+
+        return Tensor._make(out_data, (a,), backward, "tanh")
+
+    def relu(self) -> "Tensor":
+        a = self
+        mask = a.data > 0
+
+        def backward(g: np.ndarray) -> None:
+            a._accumulate(g * mask)
+
+        return Tensor._make(a.data * mask, (a,), backward, "relu")
+
+    def leaky_relu(self, negative_slope: float = 0.5) -> "Tensor":
+        """LeakyReLU; the paper fixes the slope at 0.5 (Sec IV-A.3)."""
+        a = self
+        mask = a.data > 0
+        slope = np.where(mask, 1.0, negative_slope)
+
+        def backward(g: np.ndarray) -> None:
+            a._accumulate(g * slope)
+
+        return Tensor._make(a.data * slope, (a,), backward, "leaky_relu")
+
+    def softplus(self) -> "Tensor":
+        a = self
+        # log(1 + e^x) computed stably
+        out_data = np.logaddexp(0.0, a.data)
+
+        def backward(g: np.ndarray) -> None:
+            sig = np.where(a.data >= 0,
+                           1.0 / (1.0 + np.exp(-np.clip(a.data, 0, None))),
+                           np.exp(np.clip(a.data, None, 0)) /
+                           (1.0 + np.exp(np.clip(a.data, None, 0))))
+            a._accumulate(g * sig)
+
+        return Tensor._make(out_data, (a,), backward, "softplus")
+
+    def logsigmoid(self) -> "Tensor":
+        """log(sigmoid(x)) = -softplus(-x), computed stably."""
+        return -(-self).softplus()
+
+    def abs(self) -> "Tensor":
+        a = self
+        sign = np.sign(a.data)
+
+        def backward(g: np.ndarray) -> None:
+            a._accumulate(g * sign)
+
+        return Tensor._make(np.abs(a.data), (a,), backward, "abs")
+
+    def clamp(self, low: Optional[float] = None,
+              high: Optional[float] = None) -> "Tensor":
+        """Clip values; gradient is passed through only inside the range."""
+        a = self
+        out_data = np.clip(a.data, low, high)
+        inside = np.ones_like(a.data)
+        if low is not None:
+            inside = inside * (a.data >= low)
+        if high is not None:
+            inside = inside * (a.data <= high)
+
+        def backward(g: np.ndarray) -> None:
+            a._accumulate(g * inside)
+
+        return Tensor._make(out_data, (a,), backward, "clamp")
+
+    # ------------------------------------------------------------------ #
+    # reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None,
+            keepdims: bool = False) -> "Tensor":
+        a = self
+        out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray) -> None:
+            grad = g
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+            a._accumulate(np.broadcast_to(grad, a.shape).copy())
+
+        return Tensor._make(out_data, (a,), backward, "sum")
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None,
+             keepdims: bool = False) -> "Tensor":
+        a = self
+        out_data = a.data.mean(axis=axis, keepdims=keepdims)
+        count = a.size if axis is None else (
+            np.prod([a.shape[ax] for ax in np.atleast_1d(axis)]))
+
+        def backward(g: np.ndarray) -> None:
+            grad = g / count
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+            a._accumulate(np.broadcast_to(grad, a.shape).copy())
+
+        return Tensor._make(out_data, (a,), backward, "mean")
+
+    def max(self, axis: Optional[int] = None,
+            keepdims: bool = False) -> "Tensor":
+        a = self
+        out_data = a.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g: np.ndarray) -> None:
+            if axis is None:
+                mask = (a.data == out_data)
+                share = mask / mask.sum()
+                a._accumulate(g * share)
+            else:
+                expanded = out_data if keepdims else np.expand_dims(out_data,
+                                                                    axis)
+                mask = (a.data == expanded)
+                share = mask / mask.sum(axis=axis, keepdims=True)
+                grad = g if keepdims else np.expand_dims(g, axis)
+                a._accumulate(grad * share)
+
+        return Tensor._make(out_data, (a,), backward, "max")
+
+    def logsumexp(self, axis: int = -1, keepdims: bool = False) -> "Tensor":
+        """Stable log-sum-exp along ``axis`` with exact softmax gradient."""
+        a = self
+        m = a.data.max(axis=axis, keepdims=True)
+        shifted = np.exp(a.data - m)
+        total = shifted.sum(axis=axis, keepdims=True)
+        out_data = (np.log(total) + m)
+        soft = shifted / total
+        if not keepdims:
+            out_data = np.squeeze(out_data, axis=axis)
+
+        def backward(g: np.ndarray) -> None:
+            grad = g if keepdims else np.expand_dims(g, axis)
+            a._accumulate(grad * soft)
+
+        return Tensor._make(out_data, (a,), backward, "logsumexp")
+
+    # ------------------------------------------------------------------ #
+    # linear algebra & shape ops
+    # ------------------------------------------------------------------ #
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self, other
+
+        def backward(g: np.ndarray) -> None:
+            if a.requires_grad:
+                if b.data.ndim == 1:
+                    a._accumulate(np.outer(g, b.data) if a.data.ndim == 2
+                                  else g * b.data)
+                else:
+                    a._accumulate(g @ b.data.T)
+            if b.requires_grad:
+                if a.data.ndim == 1:
+                    b._accumulate(np.outer(a.data, g) if b.data.ndim == 2
+                                  else g * a.data)
+                else:
+                    b._accumulate(a.data.T @ g)
+
+        return Tensor._make(a.data @ b.data, (a, b), backward, "matmul")
+
+    def transpose(self) -> "Tensor":
+        a = self
+
+        def backward(g: np.ndarray) -> None:
+            a._accumulate(g.T)
+
+        return Tensor._make(a.data.T, (a,), backward, "transpose")
+
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        a = self
+        old_shape = a.shape
+
+        def backward(g: np.ndarray) -> None:
+            a._accumulate(g.reshape(old_shape))
+
+        return Tensor._make(a.data.reshape(shape), (a,), backward, "reshape")
+
+    def take_rows(self, indices: np.ndarray) -> "Tensor":
+        """Gather rows (axis 0); backward scatter-adds into the source.
+
+        This is the embedding-lookup primitive: repeated indices accumulate
+        gradient correctly via ``np.add.at``.
+        """
+        a = self
+        idx = np.asarray(indices, dtype=np.int64)
+
+        def backward(g: np.ndarray) -> None:
+            grad = np.zeros_like(a.data)
+            np.add.at(grad, idx, g)
+            a._accumulate(grad)
+
+        return Tensor._make(a.data[idx], (a,), backward, "take_rows")
+
+    def __getitem__(self, key) -> "Tensor":
+        a = self
+
+        def backward(g: np.ndarray) -> None:
+            grad = np.zeros_like(a.data)
+            np.add.at(grad, key, g)
+            a._accumulate(grad)
+
+        return Tensor._make(a.data[key], (a,), backward, "getitem")
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis``; backward splits the gradient."""
+    tensors = [as_tensor(t) for t in tensors]
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                sl = [slice(None)] * g.ndim
+                sl[axis] = slice(start, stop)
+                tensor._accumulate(g[tuple(sl)])
+
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    return Tensor._make(data, tuple(tensors), backward, "concat")
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis."""
+    tensors = [as_tensor(t) for t in tensors]
+
+    def backward(g: np.ndarray) -> None:
+        for i, tensor in enumerate(tensors):
+            if tensor.requires_grad:
+                tensor._accumulate(np.take(g, i, axis=axis))
+
+    data = np.stack([t.data for t in tensors], axis=axis)
+    return Tensor._make(data, tuple(tensors), backward, "stack")
+
+
+def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Elementwise select; ``condition`` is a constant boolean array."""
+    a, b = as_tensor(a), as_tensor(b)
+    cond = np.asarray(condition, dtype=bool)
+
+    def backward(g: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(unbroadcast(g * cond, a.shape))
+        if b.requires_grad:
+            b._accumulate(unbroadcast(g * (~cond), b.shape))
+
+    return Tensor._make(np.where(cond, a.data, b.data), (a, b), backward,
+                        "where")
+
+
+def zeros(*shape: int, requires_grad: bool = False) -> Tensor:
+    """All-zeros tensor of the given shape."""
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(*shape: int, requires_grad: bool = False) -> Tensor:
+    """All-ones tensor of the given shape."""
+    return Tensor(np.ones(shape), requires_grad=requires_grad)

@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``train``     train any registered model on a dataset profile or TSV file
+``evaluate``  load a saved checkpoint and re-evaluate it
+``models``    list the registry
+``datasets``  print Table-I style statistics for the synthetic profiles
+
+Examples::
+
+    python -m repro.cli models
+    python -m repro.cli train --model graphaug --dataset gowalla \
+        --epochs 60 --checkpoint best.npz --history history.csv
+    python -m repro.cli evaluate --model graphaug --dataset gowalla \
+        --checkpoint best.npz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .data import PROFILES, load_profile, load_tsv
+from .eval import evaluate_scores
+from .models import available_models, build_model
+from .train import ModelConfig, TrainConfig, fit_model
+from .train.callbacks import (BestCheckpoint, history_to_csv, load_state)
+
+
+def _load_dataset(args):
+    if args.dataset in PROFILES:
+        return load_profile(args.dataset, seed=args.seed)
+    return load_tsv(args.dataset, test_fraction=0.2, seed=args.seed)
+
+
+def _model_config(args) -> ModelConfig:
+    return ModelConfig(embedding_dim=args.dim, num_layers=args.layers,
+                       ssl_weight=args.ssl_weight,
+                       temperature=args.temperature,
+                       edge_threshold=args.edge_threshold)
+
+
+def cmd_models(args) -> int:
+    """List every registered model name."""
+    for name in available_models():
+        print(name)
+    return 0
+
+
+def cmd_datasets(args) -> int:
+    """Print Table-I style statistics for the synthetic profiles."""
+    print(f"{'name':>14s} {'users':>6s} {'items':>6s} "
+          f"{'interactions':>12s} {'density':>9s}")
+    for name in PROFILES:
+        stats = load_profile(name, seed=args.seed).statistics()
+        print(f"{name:>14s} {stats['users']:6d} {stats['items']:6d} "
+              f"{stats['interactions']:12d} {stats['density']:9.2e}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    """Train a model and optionally persist checkpoint/history."""
+    dataset = _load_dataset(args)
+    print(f"dataset: {dataset}")
+    model = build_model(args.model, dataset, _model_config(args),
+                        seed=args.seed)
+    print(f"model:   {args.model} ({model.num_parameters():,} parameters)")
+    train_config = TrainConfig(
+        epochs=args.epochs, batch_size=args.batch_size,
+        eval_every=args.eval_every, learning_rate=args.lr,
+        verbose=not args.quiet)
+    result = fit_model(model, dataset, train_config, seed=args.seed)
+    print(f"\nbest epoch {result.best_epoch} "
+          f"({result.train_seconds:.1f}s):")
+    for key, value in sorted(result.best_metrics.items()):
+        print(f"  {key:12s} {value:.4f}")
+    if args.checkpoint:
+        ckpt = BestCheckpoint(path=args.checkpoint)
+        ckpt.update(model, result.best_metrics or {"recall@20": 0.0})
+        print(f"checkpoint -> {args.checkpoint}")
+    if args.history:
+        history_to_csv(result, args.history)
+        print(f"history    -> {args.history}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    """Evaluate a (possibly checkpointed) model on a dataset."""
+    dataset = _load_dataset(args)
+    model = build_model(args.model, dataset, _model_config(args),
+                        seed=args.seed)
+    if args.checkpoint:
+        model.load_state_dict(load_state(args.checkpoint))
+        print(f"loaded checkpoint {args.checkpoint}")
+    metrics = evaluate_scores(model.score_all_users(), dataset,
+                              ks=(20, 40))
+    for key, value in sorted(metrics.items()):
+        print(f"  {key:12s} {value:.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="GraphAug reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list registered models")
+    p_data = sub.add_parser("datasets", help="print dataset statistics")
+    p_data.add_argument("--seed", type=int, default=0)
+
+    for name, help_text in (("train", "train a model"),
+                            ("evaluate", "evaluate a checkpoint")):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--model", required=True,
+                       choices=available_models())
+        p.add_argument("--dataset", required=True,
+                       help="profile name (gowalla/retail_rocket/amazon) "
+                            "or path to a TSV edge list")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--dim", type=int, default=32)
+        p.add_argument("--layers", type=int, default=3)
+        p.add_argument("--ssl-weight", type=float, default=1.0,
+                       dest="ssl_weight")
+        p.add_argument("--temperature", type=float, default=0.5)
+        p.add_argument("--edge-threshold", type=float, default=0.2,
+                       dest="edge_threshold")
+        p.add_argument("--checkpoint", default=None)
+        if name == "train":
+            p.add_argument("--epochs", type=int, default=60)
+            p.add_argument("--batch-size", type=int, default=512,
+                           dest="batch_size")
+            p.add_argument("--eval-every", type=int, default=10,
+                           dest="eval_every")
+            p.add_argument("--lr", type=float, default=1e-3)
+            p.add_argument("--history", default=None,
+                           help="write per-epoch history CSV here")
+            p.add_argument("--quiet", action="store_true")
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {"models": cmd_models, "datasets": cmd_datasets,
+                "train": cmd_train, "evaluate": cmd_evaluate}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

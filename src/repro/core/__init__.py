@@ -1,0 +1,16 @@
+"""``repro.core`` — the paper's contribution: GraphAug and its components."""
+
+from .augmentor import (CandidateEdges, LearnableAugmentor,
+                        build_candidate_edges)
+from .gib import gib_kl_term, gib_prediction_term, pool_gaussian_parameters
+from .mixhop import MixhopEncoder, MixhopLayer, MixingLayer
+from .sampling import SampledView, sample_view
+from .graphaug import GraphAug, make_graphaug_variant
+
+__all__ = [
+    "CandidateEdges", "LearnableAugmentor", "build_candidate_edges",
+    "gib_kl_term", "gib_prediction_term", "pool_gaussian_parameters",
+    "MixhopEncoder", "MixhopLayer", "MixingLayer",
+    "SampledView", "sample_view",
+    "GraphAug", "make_graphaug_variant",
+]

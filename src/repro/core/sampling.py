@@ -1,0 +1,86 @@
+"""Differentiable graph sampling with reparameterization (paper Eq 5).
+
+Given per-edge keep logits from the augmentor, draw a *relaxed Bernoulli*
+score per edge:
+
+    ā = σ( (logit(p) + log ε' - log(1-ε')) / τ1 ),  ε' ~ Uniform(0,1)
+
+then hard-threshold at ``ξ``: edges with ``ā > ξ`` stay in the augmented
+view *with their soft weight* (a straight-through style estimator — the
+surviving weights keep the gradient path to the augmentor), others are
+dropped.  The kept weights are then symmetrically degree-normalized with
+degrees computed from the current detached weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .augmentor import CandidateEdges
+from ..autograd import Tensor, functional as F, weighted_spmm
+from ..graph import normalized_edge_weights
+
+
+@dataclass
+class SampledView:
+    """One sampled augmented graph ``G'`` in unified-node COO form."""
+
+    rows: np.ndarray            # both directions (symmetric)
+    cols: np.ndarray
+    weights: Tensor             # normalized soft weights, grad -> augmentor
+    keep_mask: np.ndarray       # which candidates survived thresholding
+    soft_scores: np.ndarray     # detached relaxed-Bernoulli scores ā
+    num_nodes: int
+
+    def propagate_fn(self):
+        """Return ``h -> Ã' h`` for this view (used by the mixhop encoder)."""
+        rows, cols, weights, n = (self.rows, self.cols, self.weights,
+                                  self.num_nodes)
+
+        def fn(h: Tensor) -> Tensor:
+            return weighted_spmm(rows, cols, weights, (n, n), h)
+
+        return fn
+
+
+def sample_view(edge_logits: Tensor, candidates: CandidateEdges,
+                num_nodes: int, rng: np.random.Generator,
+                threshold: float = 0.2,
+                gumbel_temperature: float = 0.5) -> SampledView:
+    """Draw one reparameterized augmented graph from edge keep logits.
+
+    Notes
+    -----
+    * If thresholding would drop *every* edge, the highest-scoring edge is
+      retained so the view never degenerates to an empty graph.
+    * The returned COO pattern contains both directions of each kept edge
+      (the unified adjacency is symmetric).
+    """
+    relaxed = F.gumbel_sigmoid(edge_logits, rng,
+                               temperature=gumbel_temperature)
+    keep = relaxed.data > threshold
+    if not keep.any():
+        keep[int(np.argmax(relaxed.data))] = True
+    kept_idx = np.where(keep)[0]
+
+    kept_weights = relaxed.take_rows(kept_idx)
+    u = candidates.user_nodes[kept_idx]
+    v = candidates.item_nodes[kept_idx]
+
+    # symmetric normalization with detached degrees
+    norm = normalized_edge_weights(u, v, kept_weights.data, num_nodes)
+    scale = np.divide(norm, kept_weights.data,
+                      out=np.zeros_like(norm),
+                      where=kept_weights.data > 1e-12)
+    normalized = kept_weights * scale
+
+    rows = np.concatenate([u, v])
+    cols = np.concatenate([v, u])
+    from ..autograd import concat as tensor_concat
+    weights = tensor_concat([normalized, normalized], axis=0)
+    return SampledView(rows=rows, cols=cols, weights=weights,
+                       keep_mask=keep, soft_scores=relaxed.data.copy(),
+                       num_nodes=num_nodes)

@@ -1,0 +1,19 @@
+"""``repro.data`` — datasets, synthetic generators, sampling and splits."""
+
+from .dataset import InteractionDataset
+from .synthetic import (SyntheticProfile, PROFILES, generate_synthetic,
+                        load_profile, tiny_dataset)
+from .splits import holdout_split, degree_groups, quantile_groups
+from .sampler import BPRSampler, negative_sample_matrix
+from .loaders import save_npz, load_npz, load_tsv, save_tsv
+from .preprocess import k_core, compact, popularity_statistics
+
+__all__ = [
+    "InteractionDataset",
+    "SyntheticProfile", "PROFILES", "generate_synthetic", "load_profile",
+    "tiny_dataset",
+    "holdout_split", "degree_groups", "quantile_groups",
+    "BPRSampler", "negative_sample_matrix",
+    "save_npz", "load_npz", "load_tsv", "save_tsv",
+    "k_core", "compact", "popularity_statistics",
+]

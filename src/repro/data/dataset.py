@@ -1,0 +1,112 @@
+"""Implicit-feedback recommendation datasets.
+
+:class:`InteractionDataset` bundles the train interaction graph, the held-out
+test interactions and metadata.  All models consume this one type; all
+evaluators rank against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph import InteractionGraph
+
+
+@dataclass
+class InteractionDataset:
+    """Train/test split of a user-item implicit-feedback dataset.
+
+    Attributes
+    ----------
+    name:
+        Human-readable dataset id (e.g. ``"gowalla"``).
+    train:
+        :class:`InteractionGraph` of training interactions.
+    test_matrix:
+        ``(num_users, num_items)`` CSR of held-out positives.
+    user_factors, item_factors:
+        Ground-truth latent factors when the dataset is synthetic (used by
+        the Fig 6 case-study bench to verify recovered item relations);
+        ``None`` for datasets loaded from files.
+    item_categories:
+        Ground-truth item cluster labels for synthetic data, else ``None``.
+    """
+
+    name: str
+    train: InteractionGraph
+    test_matrix: sp.csr_matrix
+    user_factors: Optional[np.ndarray] = None
+    item_factors: Optional[np.ndarray] = None
+    item_categories: Optional[np.ndarray] = None
+    _test_items_cache: Optional[Dict[int, np.ndarray]] = field(
+        default=None, repr=False, compare=False)
+
+    def __post_init__(self):
+        self.test_matrix = sp.csr_matrix(self.test_matrix, dtype=np.float64)
+        if self.test_matrix.shape != self.train.matrix.shape:
+            raise ValueError("train and test shapes disagree: "
+                             f"{self.train.matrix.shape} vs "
+                             f"{self.test_matrix.shape}")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_users(self) -> int:
+        return self.train.num_users
+
+    @property
+    def num_items(self) -> int:
+        return self.train.num_items
+
+    @property
+    def num_train_interactions(self) -> int:
+        return self.train.num_interactions
+
+    @property
+    def num_test_interactions(self) -> int:
+        return int(self.test_matrix.nnz)
+
+    @property
+    def density(self) -> float:
+        total = self.num_train_interactions + self.num_test_interactions
+        return total / float(self.num_users * self.num_items)
+
+    def test_users(self) -> np.ndarray:
+        """Users that have at least one held-out positive."""
+        counts = np.diff(self.test_matrix.indptr)
+        return np.where(counts > 0)[0]
+
+    def test_items_of(self, user: int) -> np.ndarray:
+        """Held-out positive item ids for ``user``."""
+        start, stop = self.test_matrix.indptr[user:user + 2]
+        return self.test_matrix.indices[start:stop]
+
+    def train_items_of(self, user: int) -> np.ndarray:
+        start, stop = self.train.matrix.indptr[user:user + 2]
+        return self.train.matrix.indices[start:stop]
+
+    def statistics(self) -> Dict[str, float]:
+        """The Table-I style summary row for this dataset."""
+        return {
+            "users": self.num_users,
+            "items": self.num_items,
+            "interactions": (self.num_train_interactions
+                             + self.num_test_interactions),
+            "density": self.density,
+        }
+
+    def with_train_graph(self, graph: InteractionGraph) -> "InteractionDataset":
+        """Return a copy using ``graph`` for training (e.g. a noisy graph)."""
+        return InteractionDataset(
+            name=self.name, train=graph, test_matrix=self.test_matrix,
+            user_factors=self.user_factors, item_factors=self.item_factors,
+            item_categories=self.item_categories)
+
+    def __repr__(self) -> str:
+        return (f"InteractionDataset(name={self.name!r}, "
+                f"users={self.num_users}, items={self.num_items}, "
+                f"train={self.num_train_interactions}, "
+                f"test={self.num_test_interactions})")

@@ -1,0 +1,113 @@
+"""File round-trip for datasets (TSV edge lists and compressed NPZ).
+
+Lets a downstream user bring their own Gowalla/Retail Rocket/Amazon dumps:
+the standard distribution format for these corpora is a whitespace-separated
+``user item`` edge list, which :func:`load_tsv` accepts directly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from .dataset import InteractionDataset
+from .splits import holdout_split
+from ..graph import InteractionGraph
+
+
+def save_npz(dataset: InteractionDataset, path: str) -> None:
+    """Serialize a dataset (train + test + optional ground truth) to NPZ."""
+    train = dataset.train.matrix.tocoo()
+    test = dataset.test_matrix.tocoo()
+    payload = {
+        "name": np.array(dataset.name),
+        "shape": np.array(train.shape),
+        "train_row": train.row, "train_col": train.col,
+        "test_row": test.row, "test_col": test.col,
+    }
+    if dataset.user_factors is not None:
+        payload["user_factors"] = dataset.user_factors
+        payload["item_factors"] = dataset.item_factors
+    if dataset.item_categories is not None:
+        payload["item_categories"] = dataset.item_categories
+    np.savez_compressed(path, **payload)
+
+
+def load_npz(path: str) -> InteractionDataset:
+    """Inverse of :func:`save_npz`."""
+    with np.load(path, allow_pickle=False) as blob:
+        num_users, num_items = (int(blob["shape"][0]), int(blob["shape"][1]))
+        train = InteractionGraph.from_edges(
+            blob["train_row"], blob["train_col"], num_users, num_items)
+        test = sp.csr_matrix(
+            (np.ones(len(blob["test_row"])),
+             (blob["test_row"], blob["test_col"])),
+            shape=(num_users, num_items))
+        kwargs = {}
+        if "user_factors" in blob:
+            kwargs["user_factors"] = blob["user_factors"]
+            kwargs["item_factors"] = blob["item_factors"]
+        if "item_categories" in blob:
+            kwargs["item_categories"] = blob["item_categories"]
+        return InteractionDataset(name=str(blob["name"]), train=train,
+                                  test_matrix=test, **kwargs)
+
+
+def load_tsv(path: str, name: Optional[str] = None,
+             test_fraction: float = 0.2, seed: int = 0,
+             min_interactions: int = 1) -> InteractionDataset:
+    """Load a ``user item`` whitespace-separated edge list and split it.
+
+    Ids are remapped to a dense 0..n range.  Users with fewer than
+    ``min_interactions`` edges are dropped (a k-core style filter, matching
+    standard preprocessing for the paper's datasets).
+    """
+    users, items = [], []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed line in {path!r}: {line!r}")
+            users.append(parts[0])
+            items.append(parts[1])
+    if not users:
+        raise ValueError(f"no interactions found in {path!r}")
+
+    user_ids, user_idx = np.unique(users, return_inverse=True)
+    item_ids, item_idx = np.unique(items, return_inverse=True)
+
+    if min_interactions > 1:
+        counts = np.bincount(user_idx, minlength=len(user_ids))
+        keep_users = counts >= min_interactions
+        mask = keep_users[user_idx]
+        user_ids, user_idx = np.unique(
+            np.asarray(users)[mask], return_inverse=True)
+        item_ids, item_idx = np.unique(
+            np.asarray(items)[mask], return_inverse=True)
+
+    graph = InteractionGraph.from_edges(
+        user_idx, item_idx, len(user_ids), len(item_ids))
+    rng = np.random.default_rng(seed)
+    train, test = holdout_split(graph, test_fraction, rng)
+    return InteractionDataset(
+        name=name or os.path.splitext(os.path.basename(path))[0],
+        train=train, test_matrix=test)
+
+
+def save_tsv(dataset: InteractionDataset, path: str,
+             include_test: bool = True) -> None:
+    """Write the dataset back out as a ``user item`` edge list."""
+    with open(path, "w") as handle:
+        rows, cols = dataset.train.edges()
+        for u, i in zip(rows, cols):
+            handle.write(f"{u}\t{i}\n")
+        if include_test:
+            test = dataset.test_matrix.tocoo()
+            for u, i in zip(test.row, test.col):
+                handle.write(f"{u}\t{i}\n")

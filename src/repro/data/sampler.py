@@ -1,0 +1,80 @@
+"""Pairwise (BPR) triplet sampling.
+
+The paper trains all models with the pairwise schema: triplets
+``(u, v+, v-)`` with an observed positive and an unobserved negative
+(Sec III-D, Eq 15).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..graph import InteractionGraph
+
+
+class BPRSampler:
+    """Uniform BPR triplet sampler over a training graph.
+
+    Users are drawn proportionally to their interaction counts (equivalently:
+    a uniformly random observed edge supplies ``(u, v+)``), then a negative
+    is rejection-sampled uniformly from the items the user has not interacted
+    with.
+    """
+
+    def __init__(self, graph: InteractionGraph, rng: np.random.Generator):
+        self.graph = graph
+        self.rng = rng
+        self._rows, self._cols = graph.edges()
+        if len(self._rows) == 0:
+            raise ValueError("cannot sample from an empty graph")
+        # Per-user positive sets for O(1) negative rejection tests.
+        csr = graph.matrix
+        self._indptr = csr.indptr
+        self._indices = csr.indices
+
+    def _is_positive(self, user: int, item: int) -> bool:
+        start, stop = self._indptr[user:user + 2]
+        pos = self._indices[start:stop]
+        idx = np.searchsorted(pos, item)
+        return idx < len(pos) and pos[idx] == item
+
+    def sample(self, batch_size: int) -> Tuple[np.ndarray, np.ndarray,
+                                               np.ndarray]:
+        """Return arrays ``(users, pos_items, neg_items)`` of the batch."""
+        edge_idx = self.rng.integers(0, len(self._rows), size=batch_size)
+        users = self._rows[edge_idx]
+        pos = self._cols[edge_idx]
+        neg = self.rng.integers(0, self.graph.num_items, size=batch_size)
+        for i in range(batch_size):
+            tries = 0
+            while self._is_positive(users[i], neg[i]) and tries < 50:
+                neg[i] = self.rng.integers(0, self.graph.num_items)
+                tries += 1
+        return users, pos, neg
+
+    def epoch_batches(self, batch_size: int,
+                      num_batches: int) -> Iterator[Tuple[np.ndarray,
+                                                          np.ndarray,
+                                                          np.ndarray]]:
+        for _ in range(num_batches):
+            yield self.sample(batch_size)
+
+
+def negative_sample_matrix(graph: InteractionGraph, users: np.ndarray,
+                           num_negatives: int,
+                           rng: np.random.Generator) -> np.ndarray:
+    """Sample ``num_negatives`` non-interacted items per user (with retry)."""
+    out = np.empty((len(users), num_negatives), dtype=np.int64)
+    csr = graph.matrix
+    for row, user in enumerate(users):
+        start, stop = csr.indptr[user:user + 2]
+        positives = set(csr.indices[start:stop].tolist())
+        drawn = []
+        while len(drawn) < num_negatives:
+            cand = int(rng.integers(0, graph.num_items))
+            if cand not in positives:
+                drawn.append(cand)
+        out[row] = drawn
+    return out

@@ -1,0 +1,86 @@
+"""Train/test splitting utilities."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph import InteractionGraph
+
+
+def holdout_split(graph: InteractionGraph, test_fraction: float,
+                  rng: np.random.Generator
+                  ) -> Tuple[InteractionGraph, sp.csr_matrix]:
+    """Per-user random holdout: ``test_fraction`` of each user's edges.
+
+    Every user keeps at least one training interaction; users with a single
+    interaction contribute nothing to the test set.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    csr = graph.matrix
+    train_u: List[np.ndarray] = []
+    train_i: List[np.ndarray] = []
+    test_u: List[np.ndarray] = []
+    test_i: List[np.ndarray] = []
+    for u in range(graph.num_users):
+        start, stop = csr.indptr[u:u + 2]
+        items = csr.indices[start:stop]
+        if len(items) == 0:
+            continue
+        n_test = int(np.floor(test_fraction * len(items)))
+        n_test = min(n_test, len(items) - 1)
+        perm = rng.permutation(len(items))
+        test_idx, train_idx = perm[:n_test], perm[n_test:]
+        train_u.append(np.full(len(train_idx), u, dtype=np.int64))
+        train_i.append(items[train_idx])
+        if n_test:
+            test_u.append(np.full(n_test, u, dtype=np.int64))
+            test_i.append(items[test_idx])
+
+    train_graph = InteractionGraph.from_edges(
+        np.concatenate(train_u), np.concatenate(train_i),
+        graph.num_users, graph.num_items)
+    if test_u:
+        test_matrix = sp.csr_matrix(
+            (np.ones(sum(len(t) for t in test_u)),
+             (np.concatenate(test_u), np.concatenate(test_i))),
+            shape=(graph.num_users, graph.num_items))
+    else:
+        test_matrix = sp.csr_matrix((graph.num_users, graph.num_items))
+    return train_graph, test_matrix
+
+
+def degree_groups(degrees: np.ndarray, bounds: Tuple[int, ...] = (10, 20, 30,
+                                                                  40, 50)
+                  ) -> Dict[str, np.ndarray]:
+    """Bucket entities by interaction count, as in Table V.
+
+    ``bounds = (10, 20, 30, 40, 50)`` yields groups labelled ``"0-10"``,
+    ``"10-20"``, ..., ``"40-50"``; entities above the last bound fall into
+    the final group, matching the paper's five-way split.
+    """
+    degrees = np.asarray(degrees)
+    groups: Dict[str, np.ndarray] = {}
+    lower = 0
+    for idx, upper in enumerate(bounds):
+        label = f"{lower}-{upper}"
+        if idx == len(bounds) - 1:
+            mask = degrees >= lower  # last bucket absorbs the heavy tail
+        else:
+            mask = (degrees >= lower) & (degrees < upper)
+        groups[label] = np.where(mask)[0]
+        lower = upper
+    return groups
+
+
+def quantile_groups(degrees: np.ndarray,
+                    num_groups: int = 5) -> Dict[str, np.ndarray]:
+    """Equal-population degree buckets (used when datasets are rescaled)."""
+    degrees = np.asarray(degrees, dtype=np.float64)
+    order = np.argsort(degrees, kind="stable")
+    chunks = np.array_split(order, num_groups)
+    return {f"q{idx + 1}": np.sort(chunk)
+            for idx, chunk in enumerate(chunks)}

@@ -1,0 +1,25 @@
+"""``repro.eval`` — metrics, ranking protocol and analysis probes."""
+
+from .metrics import (recall_at_k, ndcg_at_k, precision_at_k, hit_rate_at_k,
+                      mrr, average_precision, compute_user_metrics,
+                      aggregate_metrics)
+from .protocol import rank_items, evaluate_scores, evaluate_model
+from .mad import mean_average_distance, neighbour_smoothness
+from .uniformity import uniformity, alignment, radial_spread, pca_projection
+from .groups import evaluate_user_groups, evaluate_item_groups
+from .robustness import noise_robustness_curve
+from .beyond_accuracy import (item_coverage, gini_index, novelty,
+                              intra_list_distance, exposure_counts,
+                              beyond_accuracy_report)
+
+__all__ = [
+    "recall_at_k", "ndcg_at_k", "precision_at_k", "hit_rate_at_k", "mrr",
+    "average_precision", "compute_user_metrics", "aggregate_metrics",
+    "rank_items", "evaluate_scores", "evaluate_model",
+    "mean_average_distance", "neighbour_smoothness",
+    "uniformity", "alignment", "radial_spread", "pca_projection",
+    "evaluate_user_groups", "evaluate_item_groups",
+    "noise_robustness_curve",
+    "item_coverage", "gini_index", "novelty", "intra_list_distance",
+    "exposure_counts", "beyond_accuracy_report",
+]

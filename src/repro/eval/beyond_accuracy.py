@@ -1,0 +1,105 @@
+"""Beyond-accuracy recommendation metrics: coverage, novelty, Gini.
+
+The paper motivates GraphAug partly by *popularity bias* in noisy implicit
+feedback (Sec I).  These metrics quantify that axis on any score matrix:
+
+* :func:`item_coverage` — fraction of the catalogue that appears in at
+  least one user's top-K list (higher = less popularity-concentrated);
+* :func:`gini_index` — inequality of recommendation exposure across items
+  (0 = perfectly even, 1 = all exposure on one item);
+* :func:`novelty` — mean self-information ``-log2 p(item)`` of recommended
+  items under the training popularity distribution (higher = less
+  popularity-biased recommendations);
+* :func:`intra_list_distance` — mean pairwise embedding distance inside a
+  top-K list (diversity).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .protocol import rank_items
+from ..data import InteractionDataset
+
+
+def _top_k_lists(scores: np.ndarray, dataset: InteractionDataset,
+                 k: int) -> np.ndarray:
+    """(num_users, k) matrix of recommended item ids, train masked."""
+    lists = np.empty((dataset.num_users, k), dtype=np.int64)
+    train = dataset.train.matrix
+    for user in range(dataset.num_users):
+        lists[user] = rank_items(scores, train, user, k=k)
+    return lists
+
+
+def item_coverage(scores: np.ndarray, dataset: InteractionDataset,
+                  k: int = 20) -> float:
+    """Fraction of items recommended to at least one user in the top-k."""
+    lists = _top_k_lists(scores, dataset, k)
+    return len(np.unique(lists)) / float(dataset.num_items)
+
+
+def exposure_counts(scores: np.ndarray, dataset: InteractionDataset,
+                    k: int = 20) -> np.ndarray:
+    """How many top-k lists each item appears in."""
+    lists = _top_k_lists(scores, dataset, k)
+    return np.bincount(lists.ravel(), minlength=dataset.num_items)
+
+
+def gini_index(scores: np.ndarray, dataset: InteractionDataset,
+               k: int = 20) -> float:
+    """Gini coefficient of item exposure (0 = even, 1 = concentrated)."""
+    counts = np.sort(exposure_counts(scores, dataset, k).astype(
+        np.float64))
+    n = len(counts)
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    # standard formula: sum of cumulative shortfalls
+    index = np.arange(1, n + 1)
+    return float((2.0 * (index * counts).sum()) / (n * total)
+                 - (n + 1.0) / n)
+
+
+def novelty(scores: np.ndarray, dataset: InteractionDataset,
+            k: int = 20, eps: float = 1e-12) -> float:
+    """Mean ``-log2 p(item)`` of recommendations under train popularity."""
+    popularity = dataset.train.item_degrees()
+    probs = popularity / max(popularity.sum(), eps)
+    lists = _top_k_lists(scores, dataset, k)
+    info = -np.log2(np.maximum(probs[lists], eps))
+    return float(info.mean())
+
+
+def intra_list_distance(scores: np.ndarray, dataset: InteractionDataset,
+                        item_embeddings: np.ndarray, k: int = 10,
+                        eps: float = 1e-12) -> float:
+    """Mean pairwise cosine distance inside each user's top-k list."""
+    unit = item_embeddings / np.maximum(
+        np.linalg.norm(item_embeddings, axis=1, keepdims=True), eps)
+    lists = _top_k_lists(scores, dataset, k)
+    distances = []
+    for row in lists:
+        block = unit[row]
+        sims = block @ block.T
+        off = ~np.eye(k, dtype=bool)
+        distances.append(float(1.0 - sims[off].mean()))
+    return float(np.mean(distances))
+
+
+def beyond_accuracy_report(scores: np.ndarray,
+                           dataset: InteractionDataset,
+                           item_embeddings: Optional[np.ndarray] = None,
+                           k: int = 20) -> Dict[str, float]:
+    """All beyond-accuracy metrics in one dictionary."""
+    report = {
+        f"coverage@{k}": item_coverage(scores, dataset, k),
+        f"gini@{k}": gini_index(scores, dataset, k),
+        f"novelty@{k}": novelty(scores, dataset, k),
+    }
+    if item_embeddings is not None:
+        report[f"ild@{min(k, 10)}"] = intra_list_distance(
+            scores, dataset, item_embeddings, k=min(k, 10))
+    return report

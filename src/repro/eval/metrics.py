@@ -1,0 +1,102 @@
+"""Top-K ranking metrics: Recall@K, NDCG@K, Precision@K, HitRate@K, MRR, MAP.
+
+Conventions match the paper's protocol (and RecBole/SELFRec): full ranking
+over all items, training positives masked out, per-user metrics averaged
+over users that have at least one test positive.  NDCG uses the standard
+binary-relevance form with the ideal DCG truncated at
+``min(K, |test positives|)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+
+def recall_at_k(ranked: np.ndarray, positives: np.ndarray, k: int) -> float:
+    """Fraction of the user's test positives present in the top ``k``."""
+    if len(positives) == 0:
+        raise ValueError("recall undefined without positives")
+    hits = np.isin(ranked[:k], positives).sum()
+    return float(hits) / float(len(positives))
+
+
+def precision_at_k(ranked: np.ndarray, positives: np.ndarray,
+                   k: int) -> float:
+    """Fraction of the top ``k`` that are test positives."""
+    hits = np.isin(ranked[:k], positives).sum()
+    return float(hits) / float(k)
+
+
+def hit_rate_at_k(ranked: np.ndarray, positives: np.ndarray, k: int) -> float:
+    """1.0 if any test positive appears in the top ``k``, else 0.0."""
+    return float(np.isin(ranked[:k], positives).any())
+
+
+def ndcg_at_k(ranked: np.ndarray, positives: np.ndarray, k: int) -> float:
+    """Binary-relevance NDCG@K with ideal DCG truncation."""
+    if len(positives) == 0:
+        raise ValueError("ndcg undefined without positives")
+    top = ranked[:k]
+    gains = np.isin(top, positives).astype(np.float64)
+    discounts = 1.0 / np.log2(np.arange(2, len(top) + 2))
+    dcg = float((gains * discounts).sum())
+    ideal_hits = min(k, len(positives))
+    idcg = float(discounts[:ideal_hits].sum())
+    return dcg / idcg
+
+
+def mrr(ranked: np.ndarray, positives: np.ndarray) -> float:
+    """Reciprocal rank of the first relevant item (0 if none ranked)."""
+    hits = np.isin(ranked, positives)
+    idx = np.argmax(hits)
+    if not hits[idx]:
+        return 0.0
+    return 1.0 / float(idx + 1)
+
+
+def average_precision(ranked: np.ndarray, positives: np.ndarray,
+                      k: int) -> float:
+    """Average precision at ``k`` (binary relevance)."""
+    top = ranked[:k]
+    hits = np.isin(top, positives).astype(np.float64)
+    if hits.sum() == 0:
+        return 0.0
+    precisions = np.cumsum(hits) / np.arange(1, len(top) + 1)
+    return float((precisions * hits).sum() / min(len(positives), k))
+
+
+_METRIC_FUNCS = {
+    "recall": recall_at_k,
+    "ndcg": ndcg_at_k,
+    "precision": precision_at_k,
+    "hit": hit_rate_at_k,
+    "map": average_precision,
+}
+
+
+def compute_user_metrics(ranked: np.ndarray, positives: np.ndarray,
+                         ks: Sequence[int],
+                         metrics: Sequence[str] = ("recall", "ndcg")
+                         ) -> Dict[str, float]:
+    """All requested ``metric@k`` values for one user's ranked list."""
+    out: Dict[str, float] = {}
+    for metric in metrics:
+        func = _METRIC_FUNCS.get(metric)
+        if func is None:
+            raise KeyError(f"unknown metric {metric!r}; "
+                           f"available: {sorted(_METRIC_FUNCS)}")
+        for k in ks:
+            out[f"{metric}@{k}"] = func(ranked, positives, k)
+    return out
+
+
+def aggregate_metrics(per_user: Iterable[Dict[str, float]]
+                      ) -> Dict[str, float]:
+    """Average per-user metric dictionaries (all must share the same keys)."""
+    per_user = list(per_user)
+    if not per_user:
+        return {}
+    keys = per_user[0].keys()
+    return {key: float(np.mean([m[key] for m in per_user])) for key in keys}

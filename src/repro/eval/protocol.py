@@ -1,0 +1,72 @@
+"""The full-ranking evaluation protocol shared by every experiment.
+
+Given a model exposing ``score_all_users() -> (num_users, num_items)``
+preference scores, rank all items per user with training positives masked to
+``-inf`` and average the ranking metrics over test users (optionally a
+subset, for the Table V degree-group protocol).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from .metrics import compute_user_metrics, aggregate_metrics
+from ..data import InteractionDataset
+
+
+def rank_items(scores: np.ndarray, train_matrix, user: int,
+               k: Optional[int] = None) -> np.ndarray:
+    """Ranked item ids for one user, excluding their training positives."""
+    user_scores = scores[user].copy()
+    start, stop = train_matrix.indptr[user:user + 2]
+    user_scores[train_matrix.indices[start:stop]] = -np.inf
+    if k is None or k >= len(user_scores):
+        return np.argsort(-user_scores, kind="stable")
+    top = np.argpartition(-user_scores, k)[:k]
+    return top[np.argsort(-user_scores[top], kind="stable")]
+
+
+def evaluate_scores(scores: np.ndarray, dataset: InteractionDataset,
+                    ks: Sequence[int] = (20, 40),
+                    metrics: Sequence[str] = ("recall", "ndcg"),
+                    users: Optional[np.ndarray] = None,
+                    test_matrix=None) -> Dict[str, float]:
+    """Evaluate a dense score matrix against the dataset's test split.
+
+    Parameters
+    ----------
+    users:
+        Optional subset of user ids to evaluate (Table V user groups);
+        defaults to all users with test positives.
+    test_matrix:
+        Optional replacement test matrix (Table V item groups restrict test
+        positives to the item bucket).
+    """
+    test = dataset.test_matrix if test_matrix is None else test_matrix
+    if users is None:
+        counts = np.diff(test.indptr)
+        users = np.where(counts > 0)[0]
+    max_k = max(ks)
+    per_user = []
+    train = dataset.train.matrix
+    for user in users:
+        start, stop = test.indptr[user:user + 2]
+        positives = test.indices[start:stop]
+        if len(positives) == 0:
+            continue
+        ranked = rank_items(scores, train, user, k=max_k)
+        per_user.append(compute_user_metrics(ranked, positives, ks, metrics))
+    return aggregate_metrics(per_user)
+
+
+def evaluate_model(model, dataset: InteractionDataset,
+                   ks: Sequence[int] = (20, 40),
+                   metrics: Sequence[str] = ("recall", "ndcg"),
+                   users: Optional[np.ndarray] = None,
+                   test_matrix=None) -> Dict[str, float]:
+    """Evaluate any object with a ``score_all_users()`` method."""
+    scores = model.score_all_users()
+    return evaluate_scores(scores, dataset, ks=ks, metrics=metrics,
+                           users=users, test_matrix=test_matrix)

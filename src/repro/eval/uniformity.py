@@ -1,0 +1,63 @@
+"""Embedding-distribution statistics (quantifying the paper's Figure 7).
+
+The paper visualizes user embeddings with UMAP and argues GraphAug "preserves
+better global uniformity".  We report that claim numerically:
+
+* :func:`uniformity` — Wang & Isola's log-mean-exp of pairwise Gaussian
+  potentials on the unit sphere (more negative = more uniform);
+* :func:`alignment` — mean squared distance between paired views;
+* :func:`radial_spread` / :func:`pca_projection` — cheap 2-D summaries a
+  notebook can plot instead of UMAP.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _unit_rows(embeddings: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    emb = np.asarray(embeddings, dtype=np.float64)
+    norms = np.linalg.norm(emb, axis=1, keepdims=True)
+    return emb / np.maximum(norms, eps)
+
+
+def uniformity(embeddings: np.ndarray, t: float = 2.0) -> float:
+    """``log E exp(-t ||z_i - z_j||^2)`` over distinct pairs on the sphere."""
+    unit = _unit_rows(embeddings)
+    sq_dists = np.maximum(2.0 - 2.0 * (unit @ unit.T), 0.0)
+    n = unit.shape[0]
+    mask = ~np.eye(n, dtype=bool)
+    vals = np.exp(-t * sq_dists[mask])
+    return float(np.log(np.mean(vals)))
+
+
+def alignment(view_a: np.ndarray, view_b: np.ndarray) -> float:
+    """Mean squared distance between normalized positive pairs."""
+    ua, ub = _unit_rows(view_a), _unit_rows(view_b)
+    return float(np.mean(np.sum((ua - ub) ** 2, axis=1)))
+
+
+def radial_spread(embeddings: np.ndarray) -> float:
+    """Std-dev of embedding norms — collapse shows up as tiny spread."""
+    emb = np.asarray(embeddings, dtype=np.float64)
+    return float(np.std(np.linalg.norm(emb, axis=1)))
+
+
+def pca_projection(embeddings: np.ndarray,
+                   num_components: int = 2) -> Tuple[np.ndarray, np.ndarray]:
+    """Project embeddings onto their top principal components.
+
+    Returns ``(projected, explained_variance_ratio)``.  This is the repo's
+    UMAP substitute for dumping Figure-7 style scatter data.
+    """
+    emb = np.asarray(embeddings, dtype=np.float64)
+    centred = emb - emb.mean(axis=0, keepdims=True)
+    # SVD of the centred matrix gives principal axes.
+    _, singular, rows_vt = np.linalg.svd(centred, full_matrices=False)
+    components = rows_vt[:num_components]
+    projected = centred @ components.T
+    variance = singular ** 2
+    ratio = variance[:num_components] / variance.sum()
+    return projected, ratio

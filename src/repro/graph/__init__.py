@@ -1,0 +1,24 @@
+"""``repro.graph`` — sparse bipartite graph substrate.
+
+* :class:`InteractionGraph` — CSR-backed user-item graph and derived blocks.
+* Normalization: :func:`symmetric_normalize`, :func:`row_normalize`,
+  :func:`normalized_edge_weights`, :func:`adjacency_power_apply`.
+* Stochastic augmentation baselines: :func:`edge_dropout`,
+  :func:`node_dropout`, :func:`random_walk_subgraph`, :func:`feature_mask`.
+* Robustness protocol noise: :func:`inject_fake_edges`.
+"""
+
+from .bipartite import InteractionGraph
+from .normalize import (symmetric_normalize, row_normalize,
+                        normalized_edge_weights, adjacency_power_apply)
+from .sampling import (edge_dropout, node_dropout, random_walk_subgraph,
+                       feature_mask)
+from .noise import inject_fake_edges
+
+__all__ = [
+    "InteractionGraph",
+    "symmetric_normalize", "row_normalize", "normalized_edge_weights",
+    "adjacency_power_apply",
+    "edge_dropout", "node_dropout", "random_walk_subgraph", "feature_mask",
+    "inject_fake_edges",
+]

@@ -1,0 +1,124 @@
+"""Bipartite user-item interaction graphs.
+
+The paper works on the graph ``G = (U ∪ V, A)`` with ``I`` users, ``J`` items
+and binary adjacency ``A ∈ R^{I×J}`` (Sec II-A).  :class:`InteractionGraph`
+stores that matrix in CSR form and exposes the derived objects every model
+needs: the symmetric ``(I+J)×(I+J)`` block adjacency, degree vectors and the
+COO edge list used by the learnable augmentor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+
+class InteractionGraph:
+    """A user-item bipartite graph backed by a ``scipy.sparse`` CSR matrix.
+
+    Parameters
+    ----------
+    matrix:
+        ``(num_users, num_items)`` sparse matrix of interactions.  Values are
+        coerced to 1.0 (implicit feedback); zero entries are pruned.
+    """
+
+    def __init__(self, matrix: sp.spmatrix):
+        csr = sp.csr_matrix(matrix, dtype=np.float64)
+        csr.eliminate_zeros()
+        csr.data = np.ones_like(csr.data)
+        self.matrix = csr
+        self.num_users, self.num_items = csr.shape
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edges(cls, users: np.ndarray, items: np.ndarray,
+                   num_users: int, num_items: int) -> "InteractionGraph":
+        """Build from parallel arrays of user / item ids."""
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        if users.shape != items.shape:
+            raise ValueError("users and items must have the same length")
+        if len(users) and (users.max() >= num_users or users.min() < 0):
+            raise ValueError("user id out of range")
+        if len(items) and (items.max() >= num_items or items.min() < 0):
+            raise ValueError("item id out of range")
+        data = np.ones(len(users))
+        matrix = sp.csr_matrix((data, (users, items)),
+                               shape=(num_users, num_items))
+        return cls(matrix)
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        return self.num_users + self.num_items
+
+    @property
+    def num_interactions(self) -> int:
+        return int(self.matrix.nnz)
+
+    @property
+    def density(self) -> float:
+        return self.num_interactions / float(self.num_users * self.num_items)
+
+    def user_degrees(self) -> np.ndarray:
+        return np.asarray(self.matrix.sum(axis=1)).ravel()
+
+    def item_degrees(self) -> np.ndarray:
+        return np.asarray(self.matrix.sum(axis=0)).ravel()
+
+    def edges(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(user_ids, item_ids)`` COO arrays of all interactions."""
+        coo = self.matrix.tocoo()
+        return coo.row.astype(np.int64), coo.col.astype(np.int64)
+
+    def has_edge(self, user: int, item: int) -> bool:
+        return bool(self.matrix[user, item] != 0)
+
+    def copy(self) -> "InteractionGraph":
+        return InteractionGraph(self.matrix.copy())
+
+    def __repr__(self) -> str:
+        return (f"InteractionGraph(users={self.num_users}, "
+                f"items={self.num_items}, edges={self.num_interactions}, "
+                f"density={self.density:.2e})")
+
+    # ------------------------------------------------------------------ #
+    # derived matrices
+    # ------------------------------------------------------------------ #
+    def bipartite_adjacency(self) -> sp.csr_matrix:
+        """Symmetric ``(I+J) x (I+J)`` block matrix ``[[0, A], [A^T, 0]]``.
+
+        Users occupy node ids ``0..I-1``; items occupy ``I..I+J-1``.
+        """
+        upper = sp.hstack([
+            sp.csr_matrix((self.num_users, self.num_users)), self.matrix])
+        lower = sp.hstack([
+            self.matrix.T, sp.csr_matrix((self.num_items, self.num_items))])
+        return sp.vstack([upper, lower]).tocsr()
+
+    def item_node_ids(self, items: np.ndarray) -> np.ndarray:
+        """Map item ids to their node ids in the unified graph."""
+        return np.asarray(items, dtype=np.int64) + self.num_users
+
+    def with_extra_edges(self, users: np.ndarray,
+                         items: np.ndarray) -> "InteractionGraph":
+        """Return a new graph with additional (possibly fake) edges added."""
+        row, col = self.edges()
+        new_row = np.concatenate([row, np.asarray(users, dtype=np.int64)])
+        new_col = np.concatenate([col, np.asarray(items, dtype=np.int64)])
+        return InteractionGraph.from_edges(new_row, new_col,
+                                           self.num_users, self.num_items)
+
+    def subgraph_without_edges(self, mask: np.ndarray) -> "InteractionGraph":
+        """Drop the edges where ``mask`` is True (mask over COO ordering)."""
+        row, col = self.edges()
+        keep = ~np.asarray(mask, dtype=bool)
+        return InteractionGraph.from_edges(row[keep], col[keep],
+                                           self.num_users, self.num_items)

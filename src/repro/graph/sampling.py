@@ -1,0 +1,64 @@
+"""Stochastic structure augmentation operators.
+
+These implement the *baseline* corruption schemes the paper compares against
+(SGL's node dropout / edge dropout / random walk, Sec V-B), as opposed to the
+learnable GIB-regularized augmentor in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from .bipartite import InteractionGraph
+
+
+def edge_dropout(graph: InteractionGraph, rate: float,
+                 rng: np.random.Generator) -> InteractionGraph:
+    """Drop each interaction independently with probability ``rate``."""
+    _check_rate(rate)
+    row, col = graph.edges()
+    keep = rng.random(len(row)) >= rate
+    if not keep.any():  # never return an empty graph
+        keep[rng.integers(len(keep))] = True
+    return InteractionGraph.from_edges(row[keep], col[keep],
+                                       graph.num_users, graph.num_items)
+
+
+def node_dropout(graph: InteractionGraph, rate: float,
+                 rng: np.random.Generator) -> InteractionGraph:
+    """Drop all edges incident to a ``rate`` fraction of nodes."""
+    _check_rate(rate)
+    drop_users = rng.random(graph.num_users) < rate
+    drop_items = rng.random(graph.num_items) < rate
+    row, col = graph.edges()
+    keep = ~(drop_users[row] | drop_items[col])
+    if not keep.any():
+        keep[rng.integers(len(keep))] = True
+    return InteractionGraph.from_edges(row[keep], col[keep],
+                                       graph.num_users, graph.num_items)
+
+
+def random_walk_subgraph(graph: InteractionGraph, rate: float,
+                         rng: np.random.Generator,
+                         num_layers: int = 2) -> list:
+    """Per-layer independent edge dropout (SGL's RW augmentation).
+
+    Returns one dropped graph per propagation layer, so each layer of the
+    encoder sees a differently-corrupted structure.
+    """
+    return [edge_dropout(graph, rate, rng) for _ in range(num_layers)]
+
+
+def feature_mask(shape: Tuple[int, int], rate: float,
+                 rng: np.random.Generator) -> np.ndarray:
+    """Bernoulli feature mask used by SLRec-style feature corruption."""
+    _check_rate(rate)
+    return (rng.random(shape) >= rate).astype(np.float64)
+
+
+def _check_rate(rate: float) -> None:
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"dropout rate must be in [0, 1), got {rate}")

@@ -1,0 +1,26 @@
+"""``repro.models`` — the baseline zoo (17 models + registry).
+
+Importing this package registers every baseline under its paper name:
+``biasmf``, ``ncf``, ``autorec``, ``gcmc``, ``pinsage``, ``ngcf``,
+``lightgcn``, ``gccf``, ``disengcn``, ``dgcf``, ``mhcn``, ``stgcn``,
+``slrec``, ``sgl``, ``dgcl``, ``hccf``, ``cgi``, ``ncl`` — plus
+``graphaug`` itself (registered by :mod:`repro.core`) and ``simgcl`` as an
+extension control (cited by the paper as [12] but not in its Table II).
+"""
+
+from .base import Recommender, GraphRecommender, light_gcn_propagate
+from .registry import MODEL_REGISTRY, build_model, available_models
+
+# importing the modules registers the models
+from . import biasmf, ncf, autorec                       # classical CF
+from . import gcmc, pinsage, ngcf, lightgcn, gccf        # GNN recommenders
+from . import disengcn, dgcf                             # disentangled
+from . import mhcn, stgcn                                # generative SSL
+from . import slrec, sgl, dgcl, hccf, cgi, ncl           # contrastive SSL
+from . import simgcl                                     # extension model
+from .. import core as _core                             # registers graphaug
+
+__all__ = [
+    "Recommender", "GraphRecommender", "light_gcn_propagate",
+    "MODEL_REGISTRY", "build_model", "available_models",
+]

@@ -1,0 +1,56 @@
+"""AutoR (AutoRec) — autoencoder-based collaborative filtering (WWW'15).
+
+User-based AutoRec: encode each user's interaction row through a bottleneck
+and reconstruct it; the reconstruction doubles as the preference score.  The
+reconstruction objective is masked to observed entries plus the batch's
+sampled negatives (the implicit-feedback adaptation), and a pairwise term
+keeps it comparable with the BPR-trained baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Recommender
+from .registry import MODEL_REGISTRY
+from ..autograd import Linear, Tensor, as_tensor, no_grad, functional as F
+
+
+@MODEL_REGISTRY.register("autorec")
+class AutoRec(Recommender):
+    """``r_hat = W2 . sigmoid(W1 r + b1) + b2`` on user interaction rows."""
+
+    name = "autorec"
+
+    def __init__(self, dataset, config=None, seed: int = 0):
+        super().__init__(dataset, config, seed)
+        hidden = self.config.hidden_dim
+        self.encoder = Linear(self.num_items, hidden, self.init_rng)
+        self.decoder = Linear(hidden, self.num_items, self.init_rng)
+        # dense copy of the train matrix; fine at this reproduction's scale
+        self._rows = np.asarray(dataset.train.matrix.todense())
+
+    def _reconstruct(self, user_rows: np.ndarray) -> Tensor:
+        hidden = self.encoder(as_tensor(user_rows)).sigmoid()
+        return self.decoder(hidden)
+
+    def loss(self, users: np.ndarray, pos: np.ndarray,
+             neg: np.ndarray) -> Tensor:
+        unique_users, inverse = np.unique(users, return_inverse=True)
+        rows = self._rows[unique_users]
+        recon = self._reconstruct(rows)
+        # masked reconstruction: observed cells + this batch's negatives
+        observed_mask = rows.copy()
+        observed_mask[inverse, neg] = 1.0
+        diff = (recon - rows) * observed_mask
+        recon_loss = (diff * diff).sum() / max(1.0, observed_mask.sum())
+        pos_scores = recon[inverse, pos]
+        neg_scores = recon[inverse, neg]
+        rank_loss = F.bpr_loss(pos_scores, neg_scores)
+        reg = sum(((p * p).sum() for p in self.parameters()),
+                  Tensor(np.zeros(())))
+        return recon_loss + rank_loss + self.config.reg_weight * reg
+
+    def score_all_users(self) -> np.ndarray:
+        with no_grad():
+            return self._reconstruct(self._rows).data

@@ -1,0 +1,148 @@
+"""The shared recommender interface and graph-encoder building blocks.
+
+Every baseline and the paper's GraphAug implement this contract so the
+:class:`repro.train.Trainer`, the evaluation protocol and all benchmark
+harnesses can drive any of them interchangeably:
+
+* ``loss(users, pos_items, neg_items)`` — scalar training loss on a BPR
+  batch, *including* the model's own SSL / regularization terms;
+* ``propagate()`` — final user and item embedding tensors;
+* ``score_all_users()`` — dense ``(num_users, num_items)`` preference matrix;
+* ``node_embeddings()`` — stacked user+item embeddings (MAD / Fig 7 probes).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..autograd import (Embedding, Module, Tensor, no_grad, spmm,
+                        functional as F)
+from ..data import InteractionDataset
+from ..graph import symmetric_normalize
+from ..train.config import ModelConfig
+from ..utils import spawn_rngs
+
+
+class Recommender(Module):
+    """Base class: id embeddings + BPR loss + full-matrix scoring."""
+
+    name = "base"
+
+    def __init__(self, dataset: InteractionDataset,
+                 config: Optional[ModelConfig] = None, seed: int = 0):
+        super().__init__()
+        self.dataset = dataset
+        self.config = config or ModelConfig()
+        self.num_users = dataset.num_users
+        self.num_items = dataset.num_items
+        # independent generators: parameter init / structural sampling
+        self.init_rng, self.aug_rng = spawn_rngs(seed, 2)
+        dim = self.config.embedding_dim
+        self.user_emb = Embedding(self.num_users, dim, self.init_rng)
+        self.item_emb = Embedding(self.num_items, dim, self.init_rng)
+
+    # ------------------------------------------------------------------ #
+    # embedding production
+    # ------------------------------------------------------------------ #
+    def propagate(self) -> Tuple[Tensor, Tensor]:
+        """Return final (user, item) embedding tensors.
+
+        The base implementation is pure matrix factorization (no message
+        passing); graph models override this.
+        """
+        return self.user_emb.all(), self.item_emb.all()
+
+    def score_all_users(self) -> np.ndarray:
+        """Dense preference scores for every user-item pair (inference)."""
+        with no_grad():
+            users, items = self.propagate()
+            return users.data @ items.data.T
+
+    def node_embeddings(self) -> np.ndarray:
+        """Stacked (num_users + num_items, d) final embeddings."""
+        with no_grad():
+            users, items = self.propagate()
+            return np.vstack([users.data, items.data])
+
+    # ------------------------------------------------------------------ #
+    # losses
+    # ------------------------------------------------------------------ #
+    def bpr_loss(self, user_final: Tensor, item_final: Tensor,
+                 users: np.ndarray, pos: np.ndarray,
+                 neg: np.ndarray) -> Tensor:
+        """Pairwise ranking loss (paper Eq 15) on propagated embeddings."""
+        u = user_final.take_rows(users)
+        vp = item_final.take_rows(pos)
+        vn = item_final.take_rows(neg)
+        pos_scores = (u * vp).sum(axis=1)
+        neg_scores = (u * vn).sum(axis=1)
+        return F.bpr_loss(pos_scores, neg_scores)
+
+    def embedding_reg(self, users: np.ndarray, pos: np.ndarray,
+                      neg: np.ndarray) -> Tensor:
+        """Batch-wise L2 on the *ego* embeddings involved in the batch.
+
+        This is the standard practical form of the paper's
+        ``beta3 ||Theta||_F^2`` term: regularizing the full table every step
+        would swamp tiny datasets.
+        """
+        u = self.user_emb.all().take_rows(users)
+        vp = self.item_emb.all().take_rows(pos)
+        vn = self.item_emb.all().take_rows(neg)
+        total = (u * u).sum() + (vp * vp).sum() + (vn * vn).sum()
+        return total * (self.config.reg_weight / max(1, len(users)))
+
+    def loss(self, users: np.ndarray, pos: np.ndarray,
+             neg: np.ndarray) -> Tensor:
+        user_final, item_final = self.propagate()
+        return (self.bpr_loss(user_final, item_final, users, pos, neg)
+                + self.embedding_reg(users, pos, neg))
+
+
+class GraphRecommender(Recommender):
+    """Adds the precomputed normalized bipartite adjacency used by GNN models.
+
+    ``self.norm_adj`` is ``D^{-1/2} A D^{-1/2}`` over the unified
+    ``(I+J)`` node set, *without* self loops (the LightGCN convention);
+    models that want self loops (the paper's mixhop encoder) normalize their
+    own variant.
+    """
+
+    def __init__(self, dataset: InteractionDataset,
+                 config: Optional[ModelConfig] = None, seed: int = 0,
+                 add_self_loops: bool = False):
+        super().__init__(dataset, config, seed)
+        self.adjacency = dataset.train.bipartite_adjacency()
+        self.norm_adj = symmetric_normalize(self.adjacency,
+                                            add_self_loops=add_self_loops)
+
+    def ego_embeddings(self) -> Tensor:
+        """Concatenate user and item tables into one (I+J, d) tensor."""
+        from ..autograd import concat
+        return concat([self.user_emb.all(), self.item_emb.all()], axis=0)
+
+    def split_nodes(self, embeddings: Tensor) -> Tuple[Tensor, Tensor]:
+        """Split a unified node tensor back into (users, items)."""
+        user_idx = np.arange(self.num_users)
+        item_idx = np.arange(self.num_users,
+                             self.num_users + self.num_items)
+        return embeddings.take_rows(user_idx), embeddings.take_rows(item_idx)
+
+
+def light_gcn_propagate(norm_adj: sp.csr_matrix, ego: Tensor,
+                        num_layers: int) -> Tensor:
+    """LightGCN propagation: mean of the per-layer embeddings.
+
+    ``E_final = mean(E^0, A E^0, A^2 E^0, ..., A^L E^0)`` with no transforms
+    or nonlinearity — the workhorse encoder for LightGCN, SGL, NCL, HCCF
+    and the "w/o Mixhop" GraphAug ablation.
+    """
+    layers = [ego]
+    current = ego
+    for _ in range(num_layers):
+        current = spmm(norm_adj, current)
+        layers.append(current)
+    return sum(layers[1:], layers[0]) * (1.0 / len(layers))

@@ -1,0 +1,80 @@
+"""CGI (Wei et al., 2022) — contrastive graph structure learning with IB.
+
+Learns *which edges to drop* when building contrastive views instead of
+dropping at random: per-edge keep logits are sampled with the Gumbel trick,
+views are aligned with InfoNCE, and an information-bottleneck style penalty
+pushes the views to keep less of the original graph than they need —
+the closest published relative of GraphAug in the paper's Table II.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import GraphRecommender, light_gcn_propagate
+from .registry import MODEL_REGISTRY
+from ..autograd import (Parameter, Tensor, weighted_spmm, functional as F,
+                        init)
+from ..graph import normalized_edge_weights
+
+
+@MODEL_REGISTRY.register("cgi")
+class CGI(GraphRecommender):
+    """Learnable edge-drop contrastive views with an IB compression term."""
+    name = "cgi"
+
+    #: weight of the IB compression penalty on edge keep-rates
+    ib_weight = 0.05
+
+    def __init__(self, dataset, config=None, seed: int = 0):
+        super().__init__(dataset, config, seed)
+        coo = self.adjacency.tocoo()
+        self._rows = coo.row.astype(np.int64)
+        self._cols = coo.col.astype(np.int64)
+        # one learnable keep-logit per (directed) edge
+        self.edge_logits = Parameter(
+            init.normal((len(self._rows),), self.init_rng, std=0.1) + 2.0)
+
+    def propagate(self):
+        ego = self.ego_embeddings()
+        final = light_gcn_propagate(self.norm_adj, ego,
+                                    self.config.num_layers)
+        return self.split_nodes(final)
+
+    def _view(self):
+        """One Gumbel-sampled learnable edge-drop view."""
+        keep = F.gumbel_sigmoid(self.edge_logits, self.aug_rng,
+                                self.config.gumbel_temperature)
+        num_nodes = self.num_users + self.num_items
+        norm = normalized_edge_weights(self._rows, self._cols,
+                                       keep.data, num_nodes)
+        scale = np.divide(norm, keep.data,
+                          out=np.zeros_like(norm), where=keep.data > 1e-12)
+        weights = keep * scale
+        ego = self.ego_embeddings()
+        current = ego
+        acc = ego
+        for _ in range(self.config.num_layers):
+            current = weighted_spmm(self._rows, self._cols, weights,
+                                    (num_nodes, num_nodes), current)
+            acc = acc + current
+        return acc * (1.0 / (self.config.num_layers + 1)), keep
+
+    def loss(self, users, pos, neg):
+        user_final, item_final = self.propagate()
+        main = self.bpr_loss(user_final, item_final, users, pos, neg)
+
+        view_a, keep_a = self._view()
+        view_b, keep_b = self._view()
+        batch_nodes = np.unique(np.concatenate(
+            [users, pos + self.num_users, neg + self.num_users]))
+        ssl = F.decomposed_infonce_loss(
+                             view_a.take_rows(batch_nodes),
+                             view_b.take_rows(batch_nodes),
+                             self.config.temperature,
+                             self.config.negative_weight)
+        # IB: compress — keep as few edges as alignment allows
+        compression = keep_a.mean() + keep_b.mean()
+        return (main + self.config.ssl_weight * ssl
+                + self.ib_weight * compression
+                + self.embedding_reg(users, pos, neg))

@@ -1,0 +1,36 @@
+"""DisenGCN (Ma et al., ICML'19) — disentangled graph convolution.
+
+Neighbourhood routing dynamically assigns each neighbour to one of ``K``
+latent factors; each factor channel then aggregates only its share of the
+neighbourhood.  See :mod:`repro.models.disentangled` for the routing core.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import GraphRecommender
+from .disentangled import (factor_routed_propagate, merge_channels,
+                           split_channels)
+from .registry import MODEL_REGISTRY
+
+
+@MODEL_REGISTRY.register("disengcn")
+class DisenGCN(GraphRecommender):
+    """Factor-channel encoder with neighbourhood routing."""
+    name = "disengcn"
+
+    def __init__(self, dataset, config=None, seed: int = 0):
+        super().__init__(dataset, config, seed)
+        coo = self.adjacency.tocoo()
+        self._rows = coo.row.astype(np.int64)
+        self._cols = coo.col.astype(np.int64)
+
+    def propagate(self):
+        ego = self.ego_embeddings()
+        channels = split_channels(ego, self.config.num_factors)
+        routed = factor_routed_propagate(
+            channels, self._rows, self._cols, self.num_users + self.num_items,
+            num_iterations=self.config.num_layers)
+        final = merge_channels(routed)
+        return self.split_nodes(final)

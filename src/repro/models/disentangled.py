@@ -1,0 +1,74 @@
+"""Shared machinery for intent-disentangled graph CF (DisenGCN, DGCF, DGCL).
+
+Both DisenGCN's neighbourhood routing and DGCF's intent-aware graph
+disentangling follow the same computational pattern at heart:
+
+1. split the embedding into ``K`` factor channels;
+2. compute per-edge, per-factor affinities between endpoint channel
+   embeddings;
+3. softmax the affinities *across factors* so each edge distributes its
+   message over intents;
+4. propagate each channel over its re-weighted adjacency.
+
+:func:`factor_routed_propagate` implements steps 2-4 with gradients flowing
+through the channel embeddings (the routing weights themselves are treated
+as constants per iteration, the standard EM-style approximation both papers
+use).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor, concat, weighted_spmm, functional as F
+from ..graph import normalized_edge_weights
+
+
+def split_channels(embeddings: Tensor, num_factors: int) -> List[Tensor]:
+    """Split (n, d) into ``num_factors`` equal (n, d/K) channel tensors."""
+    dim = embeddings.shape[1]
+    if dim % num_factors != 0:
+        raise ValueError(f"embedding dim {dim} not divisible by "
+                         f"{num_factors} factors")
+    width = dim // num_factors
+    channels = []
+    for k in range(num_factors):
+        idx = np.arange(k * width, (k + 1) * width)
+        channels.append(embeddings[:, idx])
+    return channels
+
+
+def factor_routed_propagate(channels: List[Tensor], rows: np.ndarray,
+                            cols: np.ndarray, num_nodes: int,
+                            num_iterations: int = 2) -> List[Tensor]:
+    """Neighbourhood routing over a symmetric COO edge list.
+
+    ``rows``/``cols`` must already contain both edge directions (a symmetric
+    pattern).  Returns the propagated channel embeddings.
+    """
+    routed = channels
+    for _ in range(num_iterations):
+        # factor affinity per edge (constants for this iteration)
+        affinities = np.stack([
+            np.einsum("ed,ed->e", ch.data[rows], ch.data[cols])
+            for ch in routed], axis=1)
+        affinities -= affinities.max(axis=1, keepdims=True)
+        weights = np.exp(affinities)
+        weights /= weights.sum(axis=1, keepdims=True)
+
+        new_channels = []
+        for k, channel in enumerate(channels):
+            edge_w = normalized_edge_weights(rows, cols, weights[:, k],
+                                             num_nodes)
+            propagated = weighted_spmm(rows, cols, Tensor(edge_w),
+                                       (num_nodes, num_nodes), channel)
+            new_channels.append(F.l2_normalize(channel + propagated))
+        routed = new_channels
+    return routed
+
+
+def merge_channels(channels: List[Tensor]) -> Tensor:
+    """Concatenate factor channels back into one (n, d) tensor."""
+    return concat(channels, axis=1)

@@ -1,0 +1,31 @@
+"""GCCF (Chen et al., AAAI'20) — linear residual graph convolution for CF.
+
+"Revisiting graph based collaborative filtering": removes nonlinearities and
+keeps a residual connection per propagation layer; the final embedding
+concatenates every layer (linear residual aggregation).
+"""
+
+from __future__ import annotations
+
+from .base import GraphRecommender
+from .registry import MODEL_REGISTRY
+from ..autograd import concat, spmm
+
+
+@MODEL_REGISTRY.register("gccf")
+class GCCF(GraphRecommender):
+    """Linear residual graph convolution (no nonlinearities)."""
+    name = "gccf"
+
+    def __init__(self, dataset, config=None, seed: int = 0):
+        # GCCF keeps self-loops in its propagation matrix
+        super().__init__(dataset, config, seed, add_self_loops=True)
+
+    def propagate(self):
+        current = self.ego_embeddings()
+        outputs = [current]
+        for _ in range(self.config.num_layers):
+            current = spmm(self.norm_adj, current)
+            outputs.append(current)
+        final = concat(outputs, axis=1)
+        return self.split_nodes(final)

@@ -1,0 +1,30 @@
+"""GC-MC (Berg et al., 2017) — graph convolutional matrix completion.
+
+One graph-convolution layer with a dense transform and nonlinearity followed
+by a dense (per-node) output transform, the "pioneering investigation" GNN
+baseline in the paper's taxonomy.
+"""
+
+from __future__ import annotations
+
+from .base import GraphRecommender
+from .registry import MODEL_REGISTRY
+from ..autograd import Linear, Tensor, spmm
+
+
+@MODEL_REGISTRY.register("gcmc")
+class GCMC(GraphRecommender):
+    """One graph-conv layer + dense output transform."""
+    name = "gcmc"
+
+    def __init__(self, dataset, config=None, seed: int = 0):
+        super().__init__(dataset, config, seed)
+        dim = self.config.embedding_dim
+        self.conv = Linear(dim, dim, self.init_rng)
+        self.dense = Linear(dim, dim, self.init_rng)
+
+    def propagate(self):
+        ego = self.ego_embeddings()
+        hidden = self.conv(spmm(self.norm_adj, ego)).relu()
+        final = self.dense(hidden)
+        return self.split_nodes(final)

@@ -1,0 +1,68 @@
+"""HCCF (Xia et al., SIGIR'22) — hypergraph contrastive collaborative filtering.
+
+Contrasts *local* embeddings (bipartite LightGCN propagation) against
+*global* embeddings produced by a learnable low-rank hypergraph:
+``Z_global = H (H^T Z)`` with hyperedge assignment ``H = E W``.  The
+hyperedge side acts as a global information aggregator — the paper's
+"hyperedge-based embedding fusion" characterization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import GraphRecommender, light_gcn_propagate
+from .registry import MODEL_REGISTRY
+from ..autograd import Parameter, Tensor, functional as F, init
+
+
+@MODEL_REGISTRY.register("hccf")
+class HCCF(GraphRecommender):
+    """Local bipartite vs global learnable-hypergraph contrast."""
+    name = "hccf"
+
+    def __init__(self, dataset, config=None, seed: int = 0):
+        super().__init__(dataset, config, seed)
+        dim = self.config.embedding_dim
+        k = self.config.num_hyperedges
+        self.hyper_user = Parameter(init.xavier_uniform((dim, k),
+                                                        self.init_rng))
+        self.hyper_item = Parameter(init.xavier_uniform((dim, k),
+                                                        self.init_rng))
+
+    def propagate(self):
+        ego = self.ego_embeddings()
+        final = light_gcn_propagate(self.norm_adj, ego,
+                                    self.config.num_layers)
+        return self.split_nodes(final)
+
+    def _global_embeddings(self, user_local: Tensor, item_local: Tensor):
+        """Two-step hypergraph message passing: node -> hyperedge -> node."""
+        user_assign = user_local @ self.hyper_user        # (I, k)
+        item_assign = item_local @ self.hyper_item        # (J, k)
+        user_global = user_assign @ (user_assign.T @ user_local) \
+            * (1.0 / self.num_users)
+        item_global = item_assign @ (item_assign.T @ item_local) \
+            * (1.0 / self.num_items)
+        return user_global, item_global
+
+    def loss(self, users, pos, neg):
+        user_final, item_final = self.propagate()
+        main = self.bpr_loss(user_final, item_final, users, pos, neg)
+
+        user_global, item_global = self._global_embeddings(user_final,
+                                                           item_final)
+        batch_users = np.unique(users)
+        batch_items = np.unique(np.concatenate([pos, neg]))
+        ssl = (F.decomposed_infonce_loss(
+                              user_final.take_rows(batch_users),
+                              user_global.take_rows(batch_users),
+                              self.config.temperature,
+                              self.config.negative_weight)
+               + F.decomposed_infonce_loss(
+                                item_final.take_rows(batch_items),
+                                item_global.take_rows(batch_items),
+                                self.config.temperature,
+                                self.config.negative_weight))
+        return (main + self.config.ssl_weight * ssl
+                + self.embedding_reg(users, pos, neg))

@@ -1,0 +1,27 @@
+"""LightGCN (He et al., SIGIR'20) — simplified graph convolution for CF.
+
+Drops feature transforms and nonlinearities: final embeddings are the mean
+of the per-layer propagated embeddings under symmetric normalization.  The
+paper uses LightGCN both as a baseline and as the encoder convention its
+mixhop encoder is normalized like.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import GraphRecommender, light_gcn_propagate
+from .registry import MODEL_REGISTRY
+from ..autograd import Tensor
+
+
+@MODEL_REGISTRY.register("lightgcn")
+class LightGCN(GraphRecommender):
+    """Mean-of-layers linear graph convolution (the paper's Eq 16 of [3])."""
+    name = "lightgcn"
+
+    def propagate(self):
+        ego = self.ego_embeddings()
+        final = light_gcn_propagate(self.norm_adj, ego,
+                                    self.config.num_layers)
+        return self.split_nodes(final)

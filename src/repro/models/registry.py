@@ -1,0 +1,27 @@
+"""The model registry: string name -> model class.
+
+Benchmarks and examples build models by name so the Table II harness can
+sweep the whole zoo with one loop.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..data import InteractionDataset
+from ..train.config import ModelConfig
+from ..utils import Registry
+
+MODEL_REGISTRY = Registry("model")
+
+
+def build_model(name: str, dataset: InteractionDataset,
+                config: Optional[ModelConfig] = None, seed: int = 0):
+    """Instantiate a registered recommender by name."""
+    cls = MODEL_REGISTRY.get(name)
+    return cls(dataset, config=config, seed=seed)
+
+
+def available_models() -> list:
+    """Sorted list of every registered model name."""
+    return MODEL_REGISTRY.names()

@@ -1,0 +1,65 @@
+"""SimGCL (Yu et al., SIGIR'22) — "Are graph augmentations necessary?".
+
+Cited by the paper as [12]: instead of corrupting the *graph*, SimGCL
+perturbs the *embeddings* with random uniform noise on the unit sphere and
+contrasts the two noised propagations.  Included as an extension model
+(not part of the paper's Table II grid) because it is the natural
+no-augmentor control for GraphAug's learnable augmentation: if simple
+noise views matched GraphAug, the learnable augmentor would be pointless.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import GraphRecommender, light_gcn_propagate
+from .registry import MODEL_REGISTRY
+from ..autograd import Tensor, spmm, functional as F
+
+
+@MODEL_REGISTRY.register("simgcl")
+class SimGCL(GraphRecommender):
+    """LightGCN + uniform-noise embedding views (augmentation-free CL)."""
+    name = "simgcl"
+
+    #: magnitude of the uniform noise added to each layer's embeddings
+    noise_eps = 0.1
+
+    def propagate(self):
+        ego = self.ego_embeddings()
+        final = light_gcn_propagate(self.norm_adj, ego,
+                                    self.config.num_layers)
+        return self.split_nodes(final)
+
+    def _noised_propagate(self) -> Tensor:
+        """LightGCN propagation with sign-aligned uniform noise per layer."""
+        current = self.ego_embeddings()
+        outputs = []
+        for _ in range(self.config.num_layers):
+            current = spmm(self.norm_adj, current)
+            noise = self.aug_rng.uniform(0, 1, size=current.shape)
+            noise /= np.maximum(
+                np.linalg.norm(noise, axis=1, keepdims=True), 1e-12)
+            signed = np.sign(current.data) * noise * self.noise_eps
+            current = current + signed
+            outputs.append(current)
+        return sum(outputs[1:], outputs[0]) * (1.0 / len(outputs))
+
+    def loss(self, users, pos, neg):
+        user_final, item_final = self.propagate()
+        main = self.bpr_loss(user_final, item_final, users, pos, neg)
+
+        view_a = self._noised_propagate()
+        view_b = self._noised_propagate()
+        batch_users = np.unique(users)
+        batch_items = np.unique(np.concatenate([pos, neg])) + self.num_users
+        ssl = (F.decomposed_infonce_loss(
+                   view_a.take_rows(batch_users),
+                   view_b.take_rows(batch_users),
+                   self.config.temperature, self.config.negative_weight)
+               + F.decomposed_infonce_loss(
+                   view_a.take_rows(batch_items),
+                   view_b.take_rows(batch_items),
+                   self.config.temperature, self.config.negative_weight))
+        return (main + self.config.ssl_weight * ssl
+                + self.embedding_reg(users, pos, neg))

@@ -1,0 +1,45 @@
+"""SLRec (Yao et al., CIKM'21) — feature-level self-supervised CF.
+
+Contrastive SSL via *feature* corruption (no structure changes): two random
+feature-masked views of the embedding tables are aligned with InfoNCE while
+the main task stays plain matrix factorization — exactly the "random
+corruption on node features" characterization in the paper's baseline list.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Recommender
+from .registry import MODEL_REGISTRY
+from ..autograd import Tensor, concat, functional as F
+from ..graph import feature_mask
+
+
+@MODEL_REGISTRY.register("slrec")
+class SLRec(Recommender):
+    """Matrix factorization + feature-mask contrastive SSL."""
+    name = "slrec"
+
+    def loss(self, users, pos, neg):
+        user_final, item_final = self.propagate()
+        main = self.bpr_loss(user_final, item_final, users, pos, neg)
+
+        # feature-masked contrastive views over the batch's unique nodes
+        batch_users = np.unique(users)
+        batch_items = np.unique(np.concatenate([pos, neg]))
+        dim = self.config.embedding_dim
+        rate = self.config.dropout
+        u_emb = user_final.take_rows(batch_users)
+        i_emb = item_final.take_rows(batch_items)
+        ssl = None
+        for emb, count in ((u_emb, len(batch_users)),
+                           (i_emb, len(batch_items))):
+            mask_a = feature_mask((count, dim), rate, self.aug_rng)
+            mask_b = feature_mask((count, dim), rate, self.aug_rng)
+            term = F.decomposed_infonce_loss(
+                emb * mask_a, emb * mask_b, self.config.temperature,
+                self.config.negative_weight)
+            ssl = term if ssl is None else ssl + term
+        return (main + self.config.ssl_weight * ssl
+                + self.embedding_reg(users, pos, neg))

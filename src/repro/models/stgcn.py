@@ -1,0 +1,53 @@
+"""STGCN / STAR-GCN (Zhang et al., IJCAI'19) — stacked & reconstructed GCN.
+
+Stacks graph-convolution blocks and adds a generative self-supervision task:
+an autoencoder reconstructs (masked) input embeddings from the propagated
+representations, so the encoder must keep enough information to rebuild the
+raw preference signal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import GraphRecommender, light_gcn_propagate
+from .registry import MODEL_REGISTRY
+from ..autograd import Linear, Tensor, functional as F
+
+
+@MODEL_REGISTRY.register("stgcn")
+class STGCN(GraphRecommender):
+    """Stacked GCN with a masked embedding-reconstruction pretext task."""
+    name = "stgcn"
+
+    #: weight of the embedding-reconstruction pretext task
+    recon_weight = 0.1
+    #: fraction of nodes whose input embedding is masked before encoding
+    mask_rate = 0.15
+
+    def __init__(self, dataset, config=None, seed: int = 0):
+        super().__init__(dataset, config, seed)
+        dim = self.config.embedding_dim
+        self.encoder = Linear(dim, dim // 2, self.init_rng)
+        self.decoder = Linear(dim // 2, dim, self.init_rng)
+
+    def propagate(self):
+        ego = self.ego_embeddings()
+        final = light_gcn_propagate(self.norm_adj, ego,
+                                    self.config.num_layers)
+        return self.split_nodes(final)
+
+    def loss(self, users, pos, neg):
+        ego = self.ego_embeddings()
+        num_nodes = ego.shape[0]
+        mask = (self.aug_rng.random(num_nodes) >= self.mask_rate)
+        masked_ego = ego * mask[:, None].astype(np.float64)
+        final = light_gcn_propagate(self.norm_adj, masked_ego,
+                                    self.config.num_layers)
+        user_final, item_final = self.split_nodes(final)
+        # reconstruct the *unmasked* input table from propagated embeddings
+        recon = self.decoder(self.encoder(final).relu())
+        recon_loss = F.mse_loss(recon, ego.detach())
+        return (self.bpr_loss(user_final, item_final, users, pos, neg)
+                + self.recon_weight * recon_loss
+                + self.embedding_reg(users, pos, neg))

@@ -1,0 +1,11 @@
+"""``repro.train`` — configs and the shared training loop."""
+
+from .config import ModelConfig, TrainConfig, fast_test_configs
+from .trainer import Trainer, FitResult, EpochRecord, fit_model
+from .callbacks import (BestCheckpoint, save_state, load_state,
+                        history_to_csv, history_to_json)
+
+__all__ = ["ModelConfig", "TrainConfig", "fast_test_configs",
+           "Trainer", "FitResult", "EpochRecord", "fit_model",
+           "BestCheckpoint", "save_state", "load_state",
+           "history_to_csv", "history_to_json"]

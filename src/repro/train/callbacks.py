@@ -1,0 +1,104 @@
+"""Training persistence helpers: checkpointing and history export.
+
+The Trainer itself stays minimal; these utilities cover the two things a
+practitioner needs around it — saving the best parameters seen so far and
+dumping training curves for plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Dict, Optional
+
+import numpy as np
+
+from .trainer import FitResult
+
+
+class BestCheckpoint:
+    """Keep a copy of the best-scoring model parameters in memory / on disk.
+
+    Usage::
+
+        ckpt = BestCheckpoint(metric="recall@20", path="best.npz")
+        for epoch ...:
+            metrics = evaluate(...)
+            ckpt.update(model, metrics)
+        ckpt.restore(model)   # load the best parameters back
+    """
+
+    def __init__(self, metric: str = "recall@20",
+                 path: Optional[str] = None):
+        self.metric = metric
+        self.path = path
+        self.best_value = -np.inf
+        self._state: Optional[Dict[str, np.ndarray]] = None
+
+    def update(self, model, metrics: Dict[str, float]) -> bool:
+        """Record the model if ``metrics[self.metric]`` improved."""
+        value = metrics.get(self.metric)
+        if value is None or value <= self.best_value:
+            return False
+        self.best_value = value
+        self._state = model.state_dict()
+        if self.path:
+            save_state(self._state, self.path)
+        return True
+
+    def restore(self, model) -> None:
+        if self._state is None:
+            raise RuntimeError("no checkpoint recorded yet")
+        model.load_state_dict(self._state)
+
+
+def save_state(state: Dict[str, np.ndarray], path: str) -> None:
+    """Persist a ``state_dict`` to a compressed NPZ file."""
+    np.savez_compressed(path, **{_escape(k): v for k, v in state.items()})
+
+
+def load_state(path: str) -> Dict[str, np.ndarray]:
+    """Inverse of :func:`save_state`."""
+    with np.load(path) as blob:
+        return {_unescape(k): blob[k] for k in blob.files}
+
+
+def _escape(name: str) -> str:
+    # npz keys cannot contain '/'; parameter names use '.' anyway, but be
+    # safe about both separators
+    return name.replace("/", "__slash__")
+
+
+def _unescape(name: str) -> str:
+    return name.replace("__slash__", "/")
+
+
+def history_to_csv(result: FitResult, path: str) -> None:
+    """Dump per-epoch loss / wall-time / metrics as CSV (plot-ready)."""
+    metric_keys = sorted({key for rec in result.history
+                          for key in rec.metrics})
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["epoch", "loss", "wall_time"] + metric_keys)
+        for rec in result.history:
+            row = [rec.epoch, f"{rec.loss:.6f}", f"{rec.wall_time:.3f}"]
+            row += [f"{rec.metrics[k]:.6f}" if k in rec.metrics else ""
+                    for k in metric_keys]
+            writer.writerow(row)
+
+
+def history_to_json(result: FitResult, path: str) -> None:
+    """Dump the full fit result (history + best metrics) as JSON."""
+    payload = {
+        "best_epoch": result.best_epoch,
+        "best_metrics": result.best_metrics,
+        "train_seconds": result.train_seconds,
+        "history": [
+            {"epoch": rec.epoch, "loss": rec.loss,
+             "wall_time": rec.wall_time, "metrics": rec.metrics}
+            for rec in result.history
+        ],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)

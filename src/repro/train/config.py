@@ -1,0 +1,69 @@
+"""Hyperparameter configuration shared by every model in the zoo.
+
+One flat dataclass keeps the registry simple: each model reads the fields it
+needs and ignores the rest.  Defaults follow the paper's parameter settings
+(Sec IV-A.3) scaled to this reproduction's dataset sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Tuple
+
+
+@dataclass
+class ModelConfig:
+    """Model hyperparameters (paper Sec IV-A.3 names in comments)."""
+
+    embedding_dim: int = 32          # d; paper reports final results at 32
+    num_layers: int = 2              # message-passing iterations L in [1,2,3]
+    leaky_slope: float = 0.5         # LeakyReLU slope (fixed at 0.5)
+    reg_weight: float = 1e-4         # beta3 * ||Theta||^2 (batch-wise L2)
+    temperature: float = 0.5         # tau for InfoNCE, in [0.1 .. 0.9]
+    ssl_weight: float = 0.3          # beta2-style weight on L_CL
+    negative_weight: float = 0.0     # r, the negative-sample ratio of
+                                     # Sec III-D.1; 1.0 = plain InfoNCE.
+                                     # 0 (alignment-only) is required at
+                                     # miniature scale — see DESIGN.md
+    dropout: float = 0.1             # structure/feature corruption rate
+    # --- GraphAug specific -------------------------------------------- #
+    gib_weight: float = 1e-5         # beta1; the paper's best (Fig 5a)
+    edge_threshold: float = 0.2      # xi, graph-sampling threshold (Table IV)
+    gumbel_temperature: float = 0.5  # tau1 in Eq 5
+    mixhop_hops: Tuple[int, ...] = (0, 1, 2)  # M, the hop set
+    mixhop_mode: str = "light"       # "light" (mixing gates) or "dense" (Eq 11)
+    # --- model-family knobs ------------------------------------------- #
+    num_factors: int = 4             # disentangled latent intents (DGCF/DGCL)
+    num_hyperedges: int = 16         # HCCF / MHCN hypergraph width
+    num_clusters: int = 8            # NCL EM prototype count
+    hidden_dim: int = 64             # NCF / AutoRec hidden width
+
+    def with_overrides(self, **kwargs) -> "ModelConfig":
+        return replace(self, **kwargs)
+
+
+@dataclass
+class TrainConfig:
+    """Optimization loop settings."""
+
+    epochs: int = 40
+    batch_size: int = 512
+    batches_per_epoch: Optional[int] = None   # default: ceil(|E| / batch)
+    learning_rate: float = 1e-3               # iota
+    lr_decay: float = 0.96                    # per-epoch exponential decay
+    eval_every: int = 5                       # epochs between evaluations
+    eval_ks: Sequence[int] = (20, 40)
+    eval_metrics: Sequence[str] = ("recall", "ndcg")
+    early_stop_patience: Optional[int] = None  # evals w/o improvement
+    early_stop_metric: str = "recall@20"
+    verbose: bool = False
+
+    def with_overrides(self, **kwargs) -> "TrainConfig":
+        return replace(self, **kwargs)
+
+
+def fast_test_configs() -> Tuple[ModelConfig, TrainConfig]:
+    """Small budgets for unit tests (seconds, not minutes)."""
+    model = ModelConfig(embedding_dim=16, num_layers=2)
+    train = TrainConfig(epochs=6, batch_size=256, eval_every=3)
+    return model, train

@@ -1,0 +1,156 @@
+"""The shared training loop.
+
+All 18 models train through this one loop so comparisons are apples-to-
+apples: same sampler, same optimizer family, same evaluation cadence, same
+early stopping.  The loop also records per-epoch history (loss, metrics,
+cumulative wall-clock), which directly feeds the paper's convergence figure
+(Fig 4) and cost table (Table VI).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .config import TrainConfig
+from ..autograd import Adam, ExponentialLR
+from ..data import BPRSampler, InteractionDataset
+from ..eval import evaluate_scores
+from ..utils import Timer
+
+
+@dataclass
+class EpochRecord:
+    """One row of training history."""
+
+    epoch: int
+    loss: float
+    wall_time: float                      # cumulative seconds of training
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class FitResult:
+    """Everything a benchmark needs after training finishes."""
+
+    history: List[EpochRecord]
+    best_metrics: Dict[str, float]
+    best_epoch: int
+    train_seconds: float
+
+    def metric_curve(self, key: str) -> List[float]:
+        """Per-evaluation series of one metric (for convergence plots)."""
+        return [rec.metrics[key] for rec in self.history if rec.metrics]
+
+    def final_metrics(self) -> Dict[str, float]:
+        for rec in reversed(self.history):
+            if rec.metrics:
+                return rec.metrics
+        return {}
+
+
+class Trainer:
+    """Mini-batch BPR-style training driver around a model.
+
+    The model contract (see :class:`repro.models.base.Recommender`):
+
+    * ``model.loss(users, pos_items, neg_items) -> Tensor`` — scalar batch
+      loss including the model's own regularizers / SSL terms;
+    * ``model.parameters()`` — trainable tensors;
+    * ``model.score_all_users() -> ndarray`` — dense preference scores;
+    * optional ``model.on_epoch_start(epoch, rng)`` — hook used by models
+      that resample augmented structures each epoch (SGL, GraphAug, NCL's
+      EM step, ...).
+    """
+
+    def __init__(self, model, dataset: InteractionDataset,
+                 config: Optional[TrainConfig] = None,
+                 seed: int = 0):
+        self.model = model
+        self.dataset = dataset
+        self.config = config or TrainConfig()
+        self.rng = np.random.default_rng(seed)
+        self.sampler = BPRSampler(dataset.train, self.rng)
+        self.optimizer = Adam(model.parameters(),
+                              lr=self.config.learning_rate)
+        self.scheduler = ExponentialLR(self.optimizer,
+                                       gamma=self.config.lr_decay)
+
+    # ------------------------------------------------------------------ #
+    def fit(self) -> FitResult:
+        cfg = self.config
+        num_batches = cfg.batches_per_epoch
+        if num_batches is None:
+            num_batches = max(
+                1, math.ceil(self.dataset.num_train_interactions
+                             / cfg.batch_size))
+        history: List[EpochRecord] = []
+        timer = Timer()
+        best_value = -np.inf
+        best_metrics: Dict[str, float] = {}
+        best_epoch = -1
+        stale_evals = 0
+
+        for epoch in range(1, cfg.epochs + 1):
+            with timer:
+                if hasattr(self.model, "on_epoch_start"):
+                    self.model.on_epoch_start(epoch, self.rng)
+                epoch_loss = 0.0
+                for users, pos, neg in self.sampler.epoch_batches(
+                        cfg.batch_size, num_batches):
+                    loss = self.model.loss(users, pos, neg)
+                    self.optimizer.zero_grad()
+                    loss.backward()
+                    self.optimizer.step()
+                    epoch_loss += loss.item()
+                self.scheduler.step()
+            epoch_loss /= num_batches
+
+            metrics: Dict[str, float] = {}
+            if epoch % cfg.eval_every == 0 or epoch == cfg.epochs:
+                scores = self.model.score_all_users()
+                metrics = evaluate_scores(
+                    scores, self.dataset, ks=cfg.eval_ks,
+                    metrics=cfg.eval_metrics)
+                tracked = metrics.get(cfg.early_stop_metric)
+                if tracked is not None:
+                    if tracked > best_value:
+                        best_value = tracked
+                        best_metrics = dict(metrics)
+                        best_epoch = epoch
+                        stale_evals = 0
+                    else:
+                        stale_evals += 1
+            if cfg.verbose:
+                msg = f"epoch {epoch:3d} loss {epoch_loss:.4f}"
+                if metrics:
+                    msg += "  " + "  ".join(f"{k}={v:.4f}"
+                                            for k, v in metrics.items())
+                print(msg)
+
+            history.append(EpochRecord(epoch=epoch, loss=epoch_loss,
+                                       wall_time=timer.total,
+                                       metrics=metrics))
+            if (cfg.early_stop_patience is not None
+                    and stale_evals >= cfg.early_stop_patience):
+                break
+
+        if not best_metrics and history:
+            # no eval ever ran (eval_every > epochs); evaluate once at end
+            scores = self.model.score_all_users()
+            best_metrics = evaluate_scores(
+                scores, self.dataset, ks=cfg.eval_ks,
+                metrics=cfg.eval_metrics)
+            best_epoch = history[-1].epoch
+        return FitResult(history=history, best_metrics=best_metrics,
+                         best_epoch=best_epoch, train_seconds=timer.total)
+
+
+def fit_model(model, dataset: InteractionDataset,
+              config: Optional[TrainConfig] = None, seed: int = 0
+              ) -> FitResult:
+    """One-call convenience wrapper: build a Trainer and fit."""
+    return Trainer(model, dataset, config=config, seed=seed).fit()

@@ -1,0 +1,7 @@
+"""Small shared utilities: seeding, timing and a name registry."""
+
+from .rng import seeded_rng, spawn_rngs
+from .timer import Timer
+from .registry import Registry
+
+__all__ = ["seeded_rng", "spawn_rngs", "Timer", "Registry"]

@@ -1,0 +1,40 @@
+"""A minimal string-keyed registry used for the model zoo."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+class Registry:
+    """Decorator-based name -> constructor mapping."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: Dict[str, Callable] = {}
+
+    def register(self, name: str) -> Callable[[T], T]:
+        if name in self._entries:
+            raise KeyError(f"{self.kind} {name!r} registered twice")
+
+        def decorator(obj: T) -> T:
+            self._entries[name] = obj
+            return obj
+
+        return decorator
+
+    def get(self, name: str) -> Callable:
+        if name not in self._entries:
+            raise KeyError(f"unknown {self.kind} {name!r}; "
+                           f"available: {sorted(self._entries)}")
+        return self._entries[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def names(self) -> list:
+        return sorted(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())

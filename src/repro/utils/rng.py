@@ -1,0 +1,23 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component in this repository takes an explicit
+``numpy.random.Generator`` — no global state — so experiments are exactly
+reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def seeded_rng(seed: int) -> np.random.Generator:
+    """A fresh PCG64 generator from an integer seed."""
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, count: int) -> List[np.random.Generator]:
+    """Independent child generators (one per component) from one seed."""
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]

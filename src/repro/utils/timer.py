@@ -1,0 +1,31 @@
+"""Wall-clock timing for the cost-time evaluation (paper Table VI)."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Timer:
+    """Context-manager stopwatch accumulating across multiple sections."""
+
+    def __init__(self):
+        self.total = 0.0
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.total += time.perf_counter() - self._start
+        self._start = None
+        return False
+
+    @property
+    def minutes(self) -> float:
+        return self.total / 60.0
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self._start = None

@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.data import tiny_dataset
+from repro.train import ModelConfig, TrainConfig
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A session-cached tiny dataset (60 users, 50 items)."""
+    return tiny_dataset(seed=7)
+
+
+@pytest.fixture
+def fast_model_config():
+    return ModelConfig(embedding_dim=16, num_layers=2)
+
+
+@pytest.fixture
+def fast_train_config():
+    return TrainConfig(epochs=5, batch_size=128, eval_every=5)

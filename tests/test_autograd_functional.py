@@ -1,0 +1,203 @@
+"""Tests for the functional losses (BPR, InfoNCE, KL, ...)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck, functional as F
+
+
+def t(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = t((4, 7))
+        probs = F.softmax(x).data
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(4))
+        assert (probs > 0).all()
+
+    def test_gradcheck(self):
+        assert gradcheck(lambda a: (F.softmax(a) ** 2).sum(), [t((3, 4))])
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = t((3, 5))
+        np.testing.assert_allclose(F.log_softmax(x).data,
+                                   np.log(F.softmax(x).data))
+
+    def test_invariant_to_shift(self):
+        x = t((2, 4))
+        shifted = x + 100.0
+        np.testing.assert_allclose(F.softmax(x).data,
+                                   F.softmax(shifted).data, atol=1e-12)
+
+
+class TestNormalization:
+    def test_l2_normalize_unit_rows(self):
+        x = t((5, 3))
+        norms = np.linalg.norm(F.l2_normalize(x).data, axis=1)
+        np.testing.assert_allclose(norms, np.ones(5))
+
+    def test_l2_normalize_gradcheck(self):
+        assert gradcheck(lambda a: (F.l2_normalize(a) * a).sum(), [t((4, 3))])
+
+    def test_cosine_similarity_range(self):
+        a, b = t((4, 6)), t((5, 6), 1)
+        sims = F.cosine_similarity_matrix(a, b).data
+        assert sims.shape == (4, 5)
+        assert (np.abs(sims) <= 1.0 + 1e-10).all()
+
+    def test_cosine_self_similarity_is_one(self):
+        a = t((3, 4))
+        sims = F.cosine_similarity_matrix(a, a).data
+        np.testing.assert_allclose(np.diag(sims), np.ones(3))
+
+
+class TestBPR:
+    def test_perfect_ranking_low_loss(self):
+        pos = Tensor(np.full(10, 20.0))
+        neg = Tensor(np.full(10, -20.0))
+        assert F.bpr_loss(pos, neg).item() < 1e-6
+
+    def test_inverted_ranking_high_loss(self):
+        pos = Tensor(np.full(10, -5.0))
+        neg = Tensor(np.full(10, 5.0))
+        assert F.bpr_loss(pos, neg).item() > 5.0
+
+    def test_equal_scores_log2(self):
+        pos = Tensor(np.zeros(4))
+        neg = Tensor(np.zeros(4))
+        np.testing.assert_allclose(F.bpr_loss(pos, neg).item(), np.log(2.0))
+
+    def test_gradcheck(self):
+        assert gradcheck(F.bpr_loss, [t((6,)), t((6,), 1)])
+
+
+class TestInfoNCE:
+    def test_identical_views_low_loss_vs_random(self):
+        rng = np.random.default_rng(0)
+        view = Tensor(rng.normal(size=(16, 8)))
+        other = Tensor(rng.normal(size=(16, 8)))
+        aligned = F.infonce_loss(view, view, 0.2).item()
+        random = F.infonce_loss(view, other, 0.2).item()
+        assert aligned < random
+
+    def test_loss_positive(self):
+        assert F.infonce_loss(t((8, 4)), t((8, 4), 1)).item() > 0
+
+    def test_gradcheck(self):
+        assert gradcheck(lambda a, b: F.infonce_loss(a, b, 0.5),
+                         [t((5, 3)), t((5, 3), 1)])
+
+    def test_temperature_sharpens(self):
+        a, b = t((10, 6)), t((10, 6), 1)
+        # both valid losses; just check both compute and differ
+        hot = F.infonce_loss(a, b, 0.1).item()
+        cold = F.infonce_loss(a, b, 0.9).item()
+        assert hot != cold
+
+
+class TestAlignmentUniformity:
+    def test_alignment_zero_for_identical(self):
+        x = t((6, 4))
+        assert F.alignment_loss(x, x).item() == pytest.approx(0.0, abs=1e-12)
+
+    def test_uniformity_lower_for_spread_points(self):
+        # antipodal points are maximally uniform vs. collapsed points
+        collapsed = Tensor(np.ones((8, 3)) + 1e-3
+                           * np.random.default_rng(0).normal(size=(8, 3)))
+        spread = Tensor(np.random.default_rng(1).normal(size=(8, 3)))
+        assert (F.uniformity_loss(spread).item()
+                < F.uniformity_loss(collapsed).item())
+
+    def test_uniformity_gradcheck(self):
+        assert gradcheck(lambda a: F.uniformity_loss(a), [t((5, 3))])
+
+
+class TestGaussianKL:
+    def test_standard_normal_zero(self):
+        mu = Tensor(np.zeros((4, 3)))
+        log_var = Tensor(np.zeros((4, 3)))
+        assert F.gaussian_kl(mu, log_var).item() == pytest.approx(0.0)
+
+    def test_positive_otherwise(self):
+        assert F.gaussian_kl(t((4, 3)), t((4, 3), 1)).item() > 0
+
+    def test_closed_form(self):
+        # KL(N(m, s^2) || N(0,1)) = 0.5*(s^2 + m^2 - 1 - log s^2)
+        mu = Tensor(np.array([[1.0]]))
+        log_var = Tensor(np.array([[np.log(4.0)]]))
+        expected = 0.5 * (4.0 + 1.0 - 1.0 - np.log(4.0))
+        assert F.gaussian_kl(mu, log_var).item() == pytest.approx(expected)
+
+    def test_gradcheck(self):
+        assert gradcheck(F.gaussian_kl, [t((3, 4)), t((3, 4), 1)])
+
+
+class TestMiscLosses:
+    def test_mse_zero_identical(self):
+        x = t((4, 3))
+        assert F.mse_loss(x, x.detach()).item() == pytest.approx(0.0)
+
+    def test_mse_gradcheck(self):
+        target = np.random.default_rng(2).normal(size=(3, 4))
+        assert gradcheck(lambda a: F.mse_loss(a, target), [t((3, 4))])
+
+    def test_bce_with_logits_matches_reference(self):
+        logits = t((8,))
+        targets = (np.random.default_rng(3).random(8) > 0.5).astype(float)
+        got = F.binary_cross_entropy_with_logits(logits, targets).item()
+        p = 1 / (1 + np.exp(-logits.data))
+        want = -np.mean(targets * np.log(p) + (1 - targets) * np.log(1 - p))
+        assert got == pytest.approx(want, rel=1e-8)
+
+    def test_bce_gradcheck(self):
+        targets = np.array([1.0, 0.0, 1.0, 0.0])
+        assert gradcheck(
+            lambda a: F.binary_cross_entropy_with_logits(a, targets),
+            [t((4,))])
+
+    def test_l2_regularization(self):
+        params = [t((2, 2)), t((3,), 1)]
+        expected = sum((p.data ** 2).sum() for p in params)
+        assert F.l2_regularization(params).item() == pytest.approx(expected)
+
+    def test_l2_regularization_empty_raises(self):
+        with pytest.raises(ValueError):
+            F.l2_regularization([])
+
+
+class TestDropoutAndGumbel:
+    def test_dropout_identity_when_eval(self):
+        x = t((10, 4))
+        rng = np.random.default_rng(0)
+        out = F.dropout(x, 0.5, rng, training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_dropout_preserves_expectation(self):
+        x = Tensor(np.ones((2000, 4)))
+        rng = np.random.default_rng(0)
+        out = F.dropout(x, 0.3, rng, training=True)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_gumbel_sigmoid_in_unit_interval(self):
+        logits = t((100,))
+        rng = np.random.default_rng(0)
+        out = F.gumbel_sigmoid(logits, rng, temperature=0.5)
+        assert ((out.data > 0) & (out.data < 1)).all()
+
+    def test_gumbel_sigmoid_follows_logits(self):
+        rng = np.random.default_rng(0)
+        high = F.gumbel_sigmoid(Tensor(np.full(500, 4.0)), rng).data.mean()
+        low = F.gumbel_sigmoid(Tensor(np.full(500, -4.0)), rng).data.mean()
+        assert high > 0.8 > 0.2 > low
+
+    def test_gumbel_sigmoid_differentiable(self):
+        rng = np.random.default_rng(0)
+        noise_fixed = np.random.default_rng(1)
+
+        def fn(a):
+            return F.gumbel_sigmoid(a, np.random.default_rng(42), 0.7).sum()
+
+        assert gradcheck(fn, [t((5,))])

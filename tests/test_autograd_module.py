@@ -1,0 +1,152 @@
+"""Tests for the Module/Parameter system and layers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (Embedding, Linear, MLP, Module, Parameter,
+                            Sequential, Tensor, gradcheck)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestModuleRegistration:
+    def test_parameters_recursion(self, rng):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.layer = Linear(3, 4, rng)
+                self.scale = Parameter(np.ones(1))
+
+        net = Net()
+        params = list(net.parameters())
+        assert len(params) == 3  # weight, bias, scale
+        assert all(p.requires_grad for p in params)
+
+    def test_no_duplicate_parameters(self, rng):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Linear(2, 2, rng)
+                self.b = self.a  # alias, must not double-count
+
+        assert len(list(Net().parameters())) == 2
+
+    def test_named_parameters(self, rng):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = Linear(2, 3, rng)
+
+        names = dict(Net().named_parameters())
+        assert "inner.weight" in names
+        assert "inner.bias" in names
+
+    def test_zero_grad(self, rng):
+        layer = Linear(3, 2, rng)
+        out = layer(Tensor(np.ones((4, 3)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_train_eval_propagates(self, rng):
+        net = Sequential(Linear(2, 2, rng), Linear(2, 2, rng))
+        net.eval()
+        assert not net.training
+        assert not net.layer_0.training
+        net.train()
+        assert net.layer_1.training
+
+    def test_num_parameters(self, rng):
+        layer = Linear(3, 4, rng)
+        assert layer.num_parameters() == 3 * 4 + 4
+
+    def test_state_dict_roundtrip(self, rng):
+        a = Linear(3, 4, rng)
+        b = Linear(3, 4, np.random.default_rng(99))
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_state_dict_shape_mismatch(self, rng):
+        a = Linear(3, 4, rng)
+        bad = {k: np.zeros((1, 1)) for k in a.state_dict()}
+        with pytest.raises(ValueError):
+            a.load_state_dict(bad)
+
+    def test_state_dict_missing_key(self, rng):
+        a = Linear(3, 4, rng)
+        with pytest.raises(KeyError):
+            a.load_state_dict({})
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = Linear(5, 3, rng)
+        out = layer(Tensor(np.ones((7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_no_bias(self, rng):
+        layer = Linear(5, 3, rng, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_gradcheck_through_layer(self, rng):
+        layer = Linear(3, 2, rng)
+        x = Tensor(np.random.default_rng(1).normal(size=(4, 3)),
+                   requires_grad=True)
+        assert gradcheck(
+            lambda w, b: (layer(x) ** 2).sum(),
+            [layer.weight, layer.bias])
+
+
+class TestMLP:
+    def test_depth(self, rng):
+        mlp = MLP([4, 8, 8, 2], rng)
+        out = mlp(Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 2)
+
+    def test_needs_two_dims(self, rng):
+        with pytest.raises(ValueError):
+            MLP([4], rng)
+
+    def test_final_activation(self, rng):
+        mlp = MLP([4, 2], rng, final_activation=Tensor.sigmoid)
+        out = mlp(Tensor(np.random.default_rng(0).normal(size=(5, 4))))
+        assert ((out.data > 0) & (out.data < 1)).all()
+
+    def test_gradients_flow_to_all_layers(self, rng):
+        mlp = MLP([3, 5, 1], rng)
+        out = mlp(Tensor(np.ones((2, 3)))).sum()
+        out.backward()
+        for param in mlp.parameters():
+            assert param.grad is not None
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = Embedding(10, 4, rng)
+        out = emb(np.array([0, 3, 3, 9]))
+        assert out.shape == (4, 4)
+
+    def test_gradient_scatter(self, rng):
+        emb = Embedding(5, 2, rng)
+        out = emb(np.array([1, 1, 2])).sum()
+        out.backward()
+        np.testing.assert_allclose(emb.weight.grad[1], [2.0, 2.0])
+        np.testing.assert_allclose(emb.weight.grad[2], [1.0, 1.0])
+        np.testing.assert_allclose(emb.weight.grad[0], [0.0, 0.0])
+
+    def test_all_returns_full_table(self, rng):
+        emb = Embedding(6, 3, rng)
+        assert emb.all() is emb.weight
+
+
+class TestSequential:
+    def test_mixed_callables(self, rng):
+        net = Sequential(Linear(3, 3, rng), Tensor.relu, Linear(3, 1, rng))
+        out = net(Tensor(np.ones((2, 3))))
+        assert out.shape == (2, 1)
+        assert len(list(net.parameters())) == 4

@@ -1,0 +1,101 @@
+"""Tests for sparse matmul primitives (gradients to dense AND edge weights)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.autograd import (Tensor, coo_from_scipy, gradcheck, spmm,
+                            weighted_spmm)
+
+
+def dense_tensor(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+class TestSpmm:
+    def test_forward_matches_dense(self):
+        matrix = sp.random(6, 4, density=0.5, random_state=0, format="csr")
+        x = dense_tensor((4, 3))
+        out = spmm(matrix, x)
+        np.testing.assert_allclose(out.data, matrix.toarray() @ x.data)
+
+    def test_gradcheck(self):
+        matrix = sp.random(5, 4, density=0.6, random_state=1, format="csr")
+        assert gradcheck(lambda x: spmm(matrix, x).tanh().sum(),
+                         [dense_tensor((4, 2))])
+
+    def test_chained_propagation(self):
+        # A(A(AX)) — the iterated power application used by mixhop
+        matrix = sp.random(4, 4, density=0.7, random_state=2, format="csr")
+
+        def fn(x):
+            h = x
+            for _ in range(3):
+                h = spmm(matrix, h)
+            return h.sum()
+
+        assert gradcheck(fn, [dense_tensor((4, 2))])
+
+    def test_empty_rows_ok(self):
+        matrix = sp.csr_matrix((3, 3))
+        x = dense_tensor((3, 2))
+        out = spmm(matrix, x)
+        np.testing.assert_allclose(out.data, np.zeros((3, 2)))
+
+
+class TestWeightedSpmm:
+    def _pattern(self):
+        rows = np.array([0, 0, 1, 2, 3])
+        cols = np.array([1, 2, 0, 3, 2])
+        return rows, cols, (4, 4)
+
+    def test_forward_matches_dense(self):
+        rows, cols, shape = self._pattern()
+        w = dense_tensor((5,), 3)
+        x = dense_tensor((4, 2), 4)
+        out = weighted_spmm(rows, cols, w, shape, x)
+        dense = np.zeros(shape)
+        dense[rows, cols] = w.data
+        np.testing.assert_allclose(out.data, dense @ x.data)
+
+    def test_grad_to_both_operands(self):
+        rows, cols, shape = self._pattern()
+        assert gradcheck(
+            lambda w, x: weighted_spmm(rows, cols, w, shape, x)
+            .sigmoid().sum(),
+            [dense_tensor((5,), 5), dense_tensor((4, 3), 6)])
+
+    def test_grad_weights_only(self):
+        rows, cols, shape = self._pattern()
+        x = Tensor(np.random.default_rng(7).normal(size=(4, 2)))
+        assert gradcheck(
+            lambda w: (weighted_spmm(rows, cols, w, shape, x) ** 2).sum(),
+            [dense_tensor((5,), 8)])
+
+    def test_duplicate_coordinates_sum(self):
+        # scipy sums duplicate COO entries; gradient must follow suit
+        rows = np.array([0, 0])
+        cols = np.array([1, 1])
+        w = dense_tensor((2,), 9)
+        x = dense_tensor((2, 1), 10)
+        out = weighted_spmm(rows, cols, w, (2, 2), x)
+        expected = (w.data[0] + w.data[1]) * x.data[1]
+        np.testing.assert_allclose(out.data[0], expected)
+        assert gradcheck(
+            lambda w, x: weighted_spmm(rows, cols, w, (2, 2), x).sum(),
+            [w, x])
+
+    def test_rejects_bad_values_shape(self):
+        rows, cols, shape = self._pattern()
+        with pytest.raises(ValueError):
+            weighted_spmm(rows, cols, dense_tensor((5, 1)), shape,
+                          dense_tensor((4, 2)))
+
+
+class TestCooFromScipy:
+    def test_roundtrip(self):
+        matrix = sp.random(5, 6, density=0.4, random_state=3, format="csr")
+        rows, cols, vals, shape = coo_from_scipy(matrix)
+        rebuilt = sp.csr_matrix((vals, (rows, cols)), shape=shape)
+        np.testing.assert_allclose(rebuilt.toarray(), matrix.toarray())

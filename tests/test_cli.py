@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_models_command(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "graphaug" in out
+        assert "lightgcn" in out
+
+    def test_datasets_command(self, capsys):
+        assert main(["datasets", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "gowalla" in out
+        assert "retail_rocket" in out
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--model", "nope",
+                                       "--dataset", "gowalla"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestTrainEvaluate:
+    def test_train_on_tsv(self, tmp_path, capsys):
+        from repro.data import save_tsv, tiny_dataset
+        tsv = str(tmp_path / "edges.tsv")
+        save_tsv(tiny_dataset(seed=9, num_users=40, num_items=30), tsv)
+        ckpt = str(tmp_path / "best.npz")
+        hist = str(tmp_path / "history.csv")
+        code = main(["train", "--model", "biasmf", "--dataset", tsv,
+                     "--epochs", "2", "--batch-size", "64",
+                     "--eval-every", "2", "--dim", "8",
+                     "--checkpoint", ckpt, "--history", hist, "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recall@20" in out
+        import os
+        assert os.path.exists(ckpt)
+        assert os.path.exists(hist)
+
+    def test_evaluate_checkpoint(self, tmp_path, capsys):
+        from repro.data import save_tsv, tiny_dataset
+        tsv = str(tmp_path / "edges.tsv")
+        save_tsv(tiny_dataset(seed=9, num_users=40, num_items=30), tsv)
+        ckpt = str(tmp_path / "best.npz")
+        main(["train", "--model", "biasmf", "--dataset", tsv,
+              "--epochs", "2", "--batch-size", "64", "--eval-every", "2",
+              "--dim", "8", "--checkpoint", ckpt, "--quiet"])
+        capsys.readouterr()
+        code = main(["evaluate", "--model", "biasmf", "--dataset", tsv,
+                     "--dim", "8", "--checkpoint", ckpt])
+        assert code == 0
+        assert "recall@20" in capsys.readouterr().out

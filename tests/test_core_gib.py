@@ -1,0 +1,80 @@
+"""Tests for the GIB objective pieces (paper Eqs 6-10)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.core import (gib_kl_term, gib_prediction_term,
+                        pool_gaussian_parameters)
+
+
+def t(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+class TestPooling:
+    def test_split_shapes(self):
+        views = [t((6, 8), s) for s in range(3)]
+        mu, log_var = pool_gaussian_parameters(views)
+        assert mu.shape == (6, 4)
+        assert log_var.shape == (6, 4)
+
+    def test_pool_is_mean(self):
+        a = Tensor(np.ones((3, 4)))
+        b = Tensor(3.0 * np.ones((3, 4)))
+        mu, _ = pool_gaussian_parameters([a, b])
+        np.testing.assert_allclose(mu.data, 2.0)
+
+    def test_odd_dim_raises(self):
+        with pytest.raises(ValueError):
+            pool_gaussian_parameters([t((3, 5))])
+
+    def test_empty_views_raises(self):
+        with pytest.raises(ValueError):
+            pool_gaussian_parameters([])
+
+    def test_log_var_clamped(self):
+        huge = Tensor(100.0 * np.ones((2, 4)))
+        _, log_var = pool_gaussian_parameters([huge])
+        assert (log_var.data <= 6.0).all()
+
+
+class TestKLTerm:
+    def test_zero_embeddings_give_standard_normal_kl(self):
+        # pooled mu=0, log_var=0 -> KL = 0
+        views = [Tensor(np.zeros((4, 8)))]
+        assert gib_kl_term(views).item() == pytest.approx(0.0)
+
+    def test_positive_for_random(self):
+        assert gib_kl_term([t((5, 8), s) for s in range(3)]).item() > 0
+
+    def test_gradcheck(self):
+        views = [t((3, 6), s) for s in range(3)]
+        assert gradcheck(lambda a, b, c: gib_kl_term([a, b, c]), views)
+
+    def test_compression_pressure(self):
+        """Larger-magnitude embeddings => larger KL (more information)."""
+        small = [Tensor(0.1 * np.random.default_rng(0).normal(size=(5, 8)))]
+        large = [Tensor(3.0 * np.random.default_rng(0).normal(size=(5, 8)))]
+        assert gib_kl_term(large).item() > gib_kl_term(small).item()
+
+
+class TestPredictionTerm:
+    def test_matches_bpr_semantics(self):
+        users = np.array([0, 1])
+        pos = np.array([0, 1])
+        neg = np.array([1, 0])
+        user_view = Tensor(np.array([[10.0, 0.0], [0.0, 10.0]]))
+        item_view = Tensor(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        # pos scores 10, neg scores 0 -> near-zero loss
+        loss = gib_prediction_term(user_view, item_view, users, pos, neg)
+        assert loss.item() < 1e-3
+
+    def test_gradcheck(self):
+        users = np.array([0, 1, 2])
+        pos = np.array([1, 0, 2])
+        neg = np.array([2, 2, 0])
+        assert gradcheck(
+            lambda u, v: gib_prediction_term(u, v, users, pos, neg),
+            [t((3, 4)), t((3, 4), 1)])

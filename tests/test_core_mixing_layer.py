@@ -1,0 +1,86 @@
+"""Tests for the light-mode mixhop layer (learnable hop-mixing gates)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, spmm
+from repro.core.mixhop import MixhopEncoder, MixingLayer
+from repro.data import tiny_dataset
+from repro.graph import symmetric_normalize
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = tiny_dataset(seed=121)
+    adj = symmetric_normalize(ds.train.bipartite_adjacency(),
+                              add_self_loops=False)
+    rng = np.random.default_rng(0)
+    ego = Tensor(rng.normal(size=(ds.train.num_nodes, 8)),
+                 requires_grad=True)
+    return adj, ego
+
+
+class TestMixingLayer:
+    def test_convex_combination(self, setup):
+        adj, ego = setup
+        layer = MixingLayer((0, 1, 2), np.random.default_rng(1))
+        # set equal gates: output = (h + Ah + A^2h)/3
+        layer.gates.data = np.zeros(3)
+        out = layer(ego, lambda h: spmm(adj, h))
+        h0 = ego.data
+        h1 = adj @ h0
+        h2 = adj @ h1
+        np.testing.assert_allclose(out.data, (h0 + h1 + h2) / 3.0)
+
+    def test_hop0_gate_initialized_low(self):
+        layer = MixingLayer((0, 1, 2), np.random.default_rng(2))
+        assert layer.gates.data[0] == MixingLayer.HOP0_INIT
+        assert layer.gates.data[1] == 0.0
+
+    def test_extreme_gate_selects_single_hop(self, setup):
+        adj, ego = setup
+        layer = MixingLayer((0, 1), np.random.default_rng(3))
+        layer.gates.data = np.array([30.0, -30.0])  # all weight on hop 0
+        out = layer(ego, lambda h: spmm(adj, h))
+        np.testing.assert_allclose(out.data, ego.data, atol=1e-9)
+
+    def test_gates_receive_gradient(self, setup):
+        adj, ego = setup
+        layer = MixingLayer((0, 1, 2), np.random.default_rng(4))
+        layer(ego, lambda h: spmm(adj, h)).sum().backward()
+        assert layer.gates.grad is not None
+        assert np.abs(layer.gates.grad).sum() > 0
+
+    def test_embedding_receives_gradient(self, setup):
+        adj, ego = setup
+        ego.grad = None
+        layer = MixingLayer((1, 2), np.random.default_rng(5))
+        layer(ego, lambda h: spmm(adj, h)).sum().backward()
+        assert ego.grad is not None
+
+
+class TestEncoderModes:
+    def test_light_mode_parameter_count(self, setup):
+        enc = MixhopEncoder(8, 3, (0, 1, 2), np.random.default_rng(6),
+                            mode="light")
+        # 3 layers x 3 gates
+        assert enc.num_parameters() == 9
+
+    def test_dense_mode_parameter_count(self, setup):
+        enc = MixhopEncoder(9, 2, (0, 1, 2), np.random.default_rng(7),
+                            mode="dense")
+        # per layer: three 9x3 transforms = 81 params; 2 layers
+        assert enc.num_parameters() == 2 * 81
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            MixhopEncoder(8, 2, (0, 1), np.random.default_rng(8),
+                          mode="sparse")
+
+    def test_modes_produce_same_shape(self, setup):
+        adj, ego = setup
+        for mode in ("light", "dense"):
+            enc = MixhopEncoder(8, 2, (0, 1, 2),
+                                np.random.default_rng(9), mode=mode)
+            out = enc(ego, lambda h: spmm(adj, h))
+            assert out.shape == ego.shape

@@ -1,0 +1,85 @@
+"""Tests for reparameterized graph sampling (paper Eq 5)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import build_candidate_edges, sample_view
+from repro.data import tiny_dataset
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = tiny_dataset(seed=51)
+    cands = build_candidate_edges(ds.train, np.random.default_rng(0))
+    num_nodes = ds.train.num_nodes
+    return ds, cands, num_nodes
+
+
+class TestSampleView:
+    def test_threshold_filters(self, setup):
+        _, cands, n = setup
+        logits = Tensor(np.zeros(len(cands)), requires_grad=True)
+        rng = np.random.default_rng(1)
+        strict = sample_view(logits, cands, n, rng, threshold=0.8)
+        rng = np.random.default_rng(1)
+        loose = sample_view(logits, cands, n, rng, threshold=0.1)
+        assert strict.keep_mask.sum() < loose.keep_mask.sum()
+
+    def test_high_logits_keep_nearly_all(self, setup):
+        _, cands, n = setup
+        logits = Tensor(np.full(len(cands), 8.0))
+        view = sample_view(logits, cands, n, np.random.default_rng(2),
+                           threshold=0.2)
+        assert view.keep_mask.mean() > 0.95
+
+    def test_low_logits_drop_nearly_all_but_never_empty(self, setup):
+        _, cands, n = setup
+        logits = Tensor(np.full(len(cands), -8.0))
+        view = sample_view(logits, cands, n, np.random.default_rng(3),
+                           threshold=0.9)
+        assert view.keep_mask.sum() >= 1
+        assert view.keep_mask.mean() < 0.05
+
+    def test_symmetric_pattern(self, setup):
+        _, cands, n = setup
+        logits = Tensor(np.zeros(len(cands)))
+        view = sample_view(logits, cands, n, np.random.default_rng(4))
+        pairs = set(zip(view.rows.tolist(), view.cols.tolist()))
+        for r, c in list(pairs):
+            assert (c, r) in pairs
+
+    def test_two_draws_differ(self, setup):
+        """G' and G'' from the same logits must be different samples."""
+        _, cands, n = setup
+        logits = Tensor(np.zeros(len(cands)))
+        rng = np.random.default_rng(5)
+        a = sample_view(logits, cands, n, rng, threshold=0.5)
+        b = sample_view(logits, cands, n, rng, threshold=0.5)
+        assert not np.array_equal(a.keep_mask, b.keep_mask)
+
+    def test_gradient_flows_to_logits(self, setup):
+        _, cands, n = setup
+        logits = Tensor(np.random.default_rng(6).normal(
+            size=len(cands)), requires_grad=True)
+        view = sample_view(logits, cands, n, np.random.default_rng(7))
+        x = Tensor(np.random.default_rng(8).normal(size=(n, 6)))
+        out = view.propagate_fn()(x).sum()
+        out.backward()
+        assert logits.grad is not None
+        assert np.abs(logits.grad).sum() > 0
+
+    def test_propagation_shape(self, setup):
+        _, cands, n = setup
+        logits = Tensor(np.zeros(len(cands)))
+        view = sample_view(logits, cands, n, np.random.default_rng(9))
+        x = Tensor(np.ones((n, 4)))
+        out = view.propagate_fn()(x)
+        assert out.shape == (n, 4)
+
+    def test_soft_scores_recorded(self, setup):
+        _, cands, n = setup
+        logits = Tensor(np.zeros(len(cands)))
+        view = sample_view(logits, cands, n, np.random.default_rng(10))
+        assert view.soft_scores.shape == (len(cands),)
+        assert ((view.soft_scores > 0) & (view.soft_scores < 1)).all()

@@ -1,0 +1,60 @@
+"""Tests for InteractionDataset."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.data import InteractionDataset
+from repro.graph import InteractionGraph
+
+
+@pytest.fixture
+def dataset():
+    train = InteractionGraph.from_edges(
+        np.array([0, 0, 1, 2, 2]), np.array([0, 1, 2, 0, 3]), 3, 4)
+    test = sp.csr_matrix(
+        (np.ones(2), (np.array([0, 2]), np.array([2, 1]))), shape=(3, 4))
+    return InteractionDataset(name="unit", train=train, test_matrix=test)
+
+
+class TestBasics:
+    def test_counts(self, dataset):
+        assert dataset.num_users == 3
+        assert dataset.num_items == 4
+        assert dataset.num_train_interactions == 5
+        assert dataset.num_test_interactions == 2
+
+    def test_density(self, dataset):
+        assert dataset.density == pytest.approx(7 / 12)
+
+    def test_shape_mismatch_raises(self):
+        train = InteractionGraph.from_edges(
+            np.array([0]), np.array([0]), 2, 2)
+        bad_test = sp.csr_matrix((3, 3))
+        with pytest.raises(ValueError):
+            InteractionDataset(name="bad", train=train, test_matrix=bad_test)
+
+    def test_statistics_keys(self, dataset):
+        stats = dataset.statistics()
+        assert set(stats) == {"users", "items", "interactions", "density"}
+        assert stats["interactions"] == 7
+
+
+class TestAccessors:
+    def test_test_users(self, dataset):
+        np.testing.assert_array_equal(dataset.test_users(), [0, 2])
+
+    def test_test_items_of(self, dataset):
+        np.testing.assert_array_equal(dataset.test_items_of(0), [2])
+        np.testing.assert_array_equal(dataset.test_items_of(1), [])
+
+    def test_train_items_of(self, dataset):
+        np.testing.assert_array_equal(dataset.train_items_of(0), [0, 1])
+
+    def test_with_train_graph_swaps_only_train(self, dataset):
+        other = InteractionGraph.from_edges(
+            np.array([1]), np.array([1]), 3, 4)
+        swapped = dataset.with_train_graph(other)
+        assert swapped.num_train_interactions == 1
+        assert swapped.num_test_interactions == 2
+        assert swapped.name == dataset.name

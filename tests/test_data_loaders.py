@@ -1,0 +1,63 @@
+"""Tests for dataset file round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.data import (load_npz, load_tsv, save_npz, save_tsv,
+                        tiny_dataset)
+
+
+class TestNpzRoundtrip:
+    def test_full_roundtrip(self, tmp_path):
+        ds = tiny_dataset(seed=5)
+        path = str(tmp_path / "data.npz")
+        save_npz(ds, path)
+        loaded = load_npz(path)
+        assert loaded.name == ds.name
+        assert (loaded.train.matrix != ds.train.matrix).nnz == 0
+        assert (loaded.test_matrix != ds.test_matrix).nnz == 0
+        np.testing.assert_allclose(loaded.user_factors, ds.user_factors)
+        np.testing.assert_array_equal(loaded.item_categories,
+                                      ds.item_categories)
+
+
+class TestTsvRoundtrip:
+    def test_save_then_load(self, tmp_path):
+        ds = tiny_dataset(seed=6)
+        path = str(tmp_path / "edges.tsv")
+        save_tsv(ds, path, include_test=True)
+        loaded = load_tsv(path, name="tiny2", test_fraction=0.2, seed=0)
+        assert loaded.name == "tiny2"
+        total = (loaded.num_train_interactions
+                 + loaded.num_test_interactions)
+        expected = ds.num_train_interactions + ds.num_test_interactions
+        assert total == expected
+
+    def test_load_with_string_ids(self, tmp_path):
+        path = tmp_path / "raw.tsv"
+        path.write_text("alice item_1\nalice item_2\nbob item_2\n"
+                        "# comment\n\ncarol item_3\n")
+        ds = load_tsv(str(path), test_fraction=0.3, seed=0)
+        assert ds.num_users == 3
+        assert ds.num_items == 3
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("only_one_token\n")
+        with pytest.raises(ValueError):
+            load_tsv(str(path))
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        path.write_text("# nothing here\n")
+        with pytest.raises(ValueError):
+            load_tsv(str(path))
+
+    def test_min_interactions_filter(self, tmp_path):
+        path = tmp_path / "filter.tsv"
+        lines = [f"heavy item_{i}" for i in range(10)]
+        lines.append("light item_0")
+        path.write_text("\n".join(lines) + "\n")
+        ds = load_tsv(str(path), min_interactions=5, test_fraction=0.2,
+                      seed=0)
+        assert ds.num_users == 1

@@ -1,0 +1,71 @@
+"""Tests for k-core filtering and popularity statistics."""
+
+import numpy as np
+import pytest
+
+from repro.data import compact, k_core, popularity_statistics, tiny_dataset
+from repro.graph import InteractionGraph
+
+
+class TestKCore:
+    def test_removes_low_degree(self):
+        # user 0 has 3 edges, user 1 has 1 edge
+        graph = InteractionGraph.from_edges(
+            np.array([0, 0, 0, 1]), np.array([0, 1, 2, 0]), 2, 3)
+        cored = k_core(graph, 2)
+        assert cored.user_degrees()[1] == 0
+
+    def test_cascades(self):
+        # removing a user can push an item below k, and so on
+        graph = InteractionGraph.from_edges(
+            np.array([0, 0, 1, 1, 2]),
+            np.array([0, 1, 0, 1, 2]), 3, 3)
+        cored = k_core(graph, 2)
+        # user 2 (degree 1) goes; item 2 then has no support
+        assert cored.user_degrees()[2] == 0
+        assert cored.item_degrees()[2] == 0
+        # the 2-core (users 0,1 x items 0,1) survives
+        assert cored.num_interactions == 4
+
+    def test_fixed_point(self):
+        graph = tiny_dataset(seed=3).train
+        once = k_core(graph, 3)
+        twice = k_core(once, 3)
+        assert (once.matrix != twice.matrix).nnz == 0
+
+    def test_all_degrees_satisfied(self):
+        graph = tiny_dataset(seed=4).train
+        cored = k_core(graph, 3)
+        user_deg = cored.user_degrees()
+        item_deg = cored.item_degrees()
+        assert ((user_deg == 0) | (user_deg >= 3)).all()
+        assert ((item_deg == 0) | (item_deg >= 3)).all()
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            k_core(tiny_dataset(seed=0).train, 0)
+
+
+class TestCompact:
+    def test_drops_empty_rows(self):
+        graph = InteractionGraph.from_edges(
+            np.array([0, 5]), np.array([2, 7]), 10, 10)
+        small = compact(graph)
+        assert small.num_users == 2
+        assert small.num_items == 2
+        assert small.num_interactions == 2
+
+
+class TestPopularityStatistics:
+    def test_keys_and_ranges(self):
+        stats = popularity_statistics(tiny_dataset(seed=5).train)
+        assert 0.0 < stats["top_decile_share"] <= 1.0
+        assert 0.0 <= stats["tail_half_share"] <= 1.0
+        assert stats["max_degree"] >= stats["median_degree"]
+
+    def test_long_tail_detected(self):
+        """Power-law generated data: top decile holds an outsized share."""
+        stats = popularity_statistics(
+            tiny_dataset(seed=6, num_users=100, num_items=80,
+                         mean_degree=10.0).train)
+        assert stats["top_decile_share"] > 0.1

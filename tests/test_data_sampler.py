@@ -1,0 +1,64 @@
+"""Tests for BPR triplet sampling."""
+
+import numpy as np
+import pytest
+
+from repro.data import BPRSampler, negative_sample_matrix, tiny_dataset
+from repro.graph import InteractionGraph
+
+
+@pytest.fixture
+def graph():
+    return tiny_dataset(seed=3).train
+
+
+class TestBPRSampler:
+    def test_positives_are_observed(self, graph):
+        sampler = BPRSampler(graph, np.random.default_rng(0))
+        users, pos, neg = sampler.sample(200)
+        for u, p in zip(users, pos):
+            assert graph.has_edge(int(u), int(p))
+
+    def test_negatives_mostly_unobserved(self, graph):
+        sampler = BPRSampler(graph, np.random.default_rng(1))
+        users, pos, neg = sampler.sample(200)
+        bad = sum(graph.has_edge(int(u), int(n))
+                  for u, n in zip(users, neg))
+        assert bad <= 2  # rejection sampling caps at 50 tries
+
+    def test_batch_shapes(self, graph):
+        sampler = BPRSampler(graph, np.random.default_rng(2))
+        users, pos, neg = sampler.sample(64)
+        assert users.shape == pos.shape == neg.shape == (64,)
+
+    def test_epoch_batches_count(self, graph):
+        sampler = BPRSampler(graph, np.random.default_rng(3))
+        batches = list(sampler.epoch_batches(32, 5))
+        assert len(batches) == 5
+
+    def test_empty_graph_raises(self):
+        empty = InteractionGraph.from_edges(
+            np.empty(0, np.int64), np.empty(0, np.int64), 3, 3)
+        with pytest.raises(ValueError):
+            BPRSampler(empty, np.random.default_rng(0))
+
+    def test_user_frequency_tracks_degree(self, graph):
+        """Edge-uniform sampling => active users drawn more often."""
+        sampler = BPRSampler(graph, np.random.default_rng(4))
+        users, _, _ = sampler.sample(5000)
+        counts = np.bincount(users, minlength=graph.num_users)
+        degrees = graph.user_degrees()
+        heavy = degrees >= np.percentile(degrees, 80)
+        light = degrees <= np.percentile(degrees, 20)
+        assert counts[heavy].mean() > counts[light].mean()
+
+
+class TestNegativeSampleMatrix:
+    def test_shape_and_validity(self, graph):
+        users = np.array([0, 1, 2])
+        negs = negative_sample_matrix(graph, users, 4,
+                                      np.random.default_rng(5))
+        assert negs.shape == (3, 4)
+        for row, user in enumerate(users):
+            for item in negs[row]:
+                assert not graph.has_edge(int(user), int(item))

@@ -1,0 +1,78 @@
+"""Tests for splitting utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data import degree_groups, holdout_split, quantile_groups
+from repro.graph import InteractionGraph
+
+
+@pytest.fixture
+def graph():
+    rng = np.random.default_rng(0)
+    users = np.repeat(np.arange(40), 10)
+    items = rng.integers(0, 60, size=400)
+    return InteractionGraph.from_edges(users, items, 40, 60)
+
+
+class TestHoldoutSplit:
+    def test_partition_is_disjoint_and_complete(self, graph):
+        rng = np.random.default_rng(1)
+        train, test = holdout_split(graph, 0.25, rng)
+        total = train.num_interactions + test.nnz
+        assert total == graph.num_interactions
+        overlap = train.matrix.multiply(test)
+        assert overlap.nnz == 0
+
+    def test_each_user_keeps_a_train_item(self, graph):
+        rng = np.random.default_rng(2)
+        train, _ = holdout_split(graph, 0.9, rng)
+        degrees = train.user_degrees()
+        active = graph.user_degrees() > 0
+        assert (degrees[active] >= 1).all()
+
+    def test_single_interaction_user_never_tested(self):
+        graph = InteractionGraph.from_edges(
+            np.array([0]), np.array([0]), 1, 2)
+        train, test = holdout_split(graph, 0.5, np.random.default_rng(0))
+        assert train.num_interactions == 1
+        assert test.nnz == 0
+
+    def test_invalid_fraction_raises(self, graph):
+        for bad in (0.0, 1.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                holdout_split(graph, bad, np.random.default_rng(0))
+
+
+class TestDegreeGroups:
+    def test_paper_bucket_labels(self):
+        degrees = np.array([5, 15, 25, 35, 45, 120])
+        groups = degree_groups(degrees)
+        assert list(groups) == ["0-10", "10-20", "20-30", "30-40", "40-50"]
+        assert 0 in groups["0-10"]
+        assert 5 in groups["40-50"]  # tail absorbed by last bucket
+
+    def test_partition(self):
+        degrees = np.random.default_rng(0).integers(0, 100, size=200)
+        groups = degree_groups(degrees)
+        all_ids = np.concatenate(list(groups.values()))
+        assert len(all_ids) == 200
+        assert len(set(all_ids.tolist())) == 200
+
+
+class TestQuantileGroups:
+    def test_equal_population(self):
+        degrees = np.arange(100)
+        groups = quantile_groups(degrees, num_groups=5)
+        sizes = [len(v) for v in groups.values()]
+        assert sizes == [20] * 5
+
+    def test_ordered_by_degree(self):
+        degrees = np.random.default_rng(1).integers(0, 50, size=100)
+        groups = quantile_groups(degrees, num_groups=4)
+        labels = list(groups)
+        max_prev = -1
+        for label in labels:
+            group_max = degrees[groups[label]].max()
+            assert group_max >= max_prev
+            max_prev = degrees[groups[label]].min()

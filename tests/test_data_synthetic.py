@@ -1,0 +1,95 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import PROFILES, generate_synthetic, load_profile, \
+    tiny_dataset
+from repro.data.synthetic import SyntheticProfile
+
+
+class TestProfiles:
+    def test_all_three_paper_datasets_present(self):
+        assert set(PROFILES) == {"gowalla", "retail_rocket", "amazon"}
+
+    def test_relative_density_ordering_matches_table1(self):
+        """Table I: gowalla much denser than retail_rocket ~ amazon."""
+        stats = {name: load_profile(name, seed=0).density
+                 for name in PROFILES}
+        assert stats["gowalla"] > stats["amazon"]
+        assert stats["gowalla"] > 2 * stats["retail_rocket"]
+
+    def test_retail_rocket_sparsest_per_user(self):
+        degrees = {}
+        for name in PROFILES:
+            ds = load_profile(name, seed=0)
+            degrees[name] = ds.train.user_degrees().mean()
+        assert degrees["retail_rocket"] < degrees["amazon"]
+        assert degrees["retail_rocket"] < degrees["gowalla"]
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError):
+            load_profile("netflix")
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = load_profile("gowalla", seed=3)
+        b = load_profile("gowalla", seed=3)
+        assert (a.train.matrix != b.train.matrix).nnz == 0
+        assert (a.test_matrix != b.test_matrix).nnz == 0
+
+    def test_seed_changes_data(self):
+        a = load_profile("gowalla", seed=1)
+        b = load_profile("gowalla", seed=2)
+        assert (a.train.matrix != b.train.matrix).nnz > 0
+
+    def test_ground_truth_attached(self):
+        ds = load_profile("amazon", seed=0)
+        assert ds.user_factors.shape[0] == ds.num_users
+        assert ds.item_factors.shape[0] == ds.num_items
+        assert ds.item_categories.shape == (ds.num_items,)
+
+    def test_long_tail_skew(self):
+        """Item popularity must be heavy-tailed (top decile dominates)."""
+        ds = load_profile("gowalla", seed=0)
+        degrees = np.sort(ds.train.item_degrees())[::-1]
+        top_decile = degrees[: len(degrees) // 10].sum()
+        assert top_decile > 0.2 * degrees.sum()
+
+    def test_every_user_has_train_interactions(self):
+        ds = load_profile("retail_rocket", seed=0)
+        assert (ds.train.user_degrees() >= 1).all()
+
+    def test_test_fraction_respected(self):
+        ds = load_profile("gowalla", seed=0, test_fraction=0.2)
+        ratio = ds.num_test_interactions / (
+            ds.num_train_interactions + ds.num_test_interactions)
+        assert 0.1 < ratio < 0.25
+
+    def test_preferences_learnable(self):
+        """Ground-truth affinity must predict held-out items above chance."""
+        ds = load_profile("gowalla", seed=0)
+        scores = ds.user_factors @ ds.item_factors.T
+        hits, total = 0, 0
+        for user in ds.test_users()[:50]:
+            ranked = np.argsort(-scores[user])
+            positives = set(ds.test_items_of(user).tolist())
+            top = set(ranked[:20].tolist())
+            hits += len(top & positives)
+            total += len(positives)
+        chance = 20 / ds.num_items
+        assert hits / total > 2 * chance
+
+
+class TestTinyDataset:
+    def test_small_and_fast(self):
+        ds = tiny_dataset(seed=0)
+        assert ds.num_users <= 100
+        assert ds.num_items <= 100
+        assert ds.num_test_interactions > 0
+
+    def test_custom_sizes(self):
+        ds = tiny_dataset(seed=0, num_users=30, num_items=20)
+        assert ds.num_users == 30
+        assert ds.num_items == 20

@@ -1,0 +1,67 @@
+"""Documentation-contract tests: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = ["repro", "repro.autograd", "repro.graph", "repro.data",
+            "repro.eval", "repro.train", "repro.models", "repro.core",
+            "repro.utils"]
+
+
+def _walk_modules():
+    seen = []
+    for name in PACKAGES:
+        module = importlib.import_module(name)
+        seen.append(module)
+        if hasattr(module, "__path__"):
+            for info in pkgutil.iter_modules(module.__path__):
+                seen.append(importlib.import_module(
+                    f"{name}.{info.name}"))
+    return seen
+
+
+MODULES = _walk_modules()
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=[m.__name__ for m in MODULES])
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"{module.__name__} is missing a module docstring")
+
+
+def _public_classes():
+    items = []
+    for module in MODULES:
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if inspect.isclass(obj) and obj.__module__ == module.__name__:
+                items.append(obj)
+    return items
+
+
+@pytest.mark.parametrize("cls", _public_classes(),
+                         ids=lambda c: f"{c.__module__}.{c.__name__}")
+def test_public_class_has_docstring(cls):
+    assert cls.__doc__ and cls.__doc__.strip(), (
+        f"{cls.__module__}.{cls.__name__} is missing a docstring")
+
+
+def test_public_functions_documented():
+    undocumented = []
+    for module in MODULES:
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if inspect.isfunction(obj) and \
+                    obj.__module__ == module.__name__:
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    undocumented.append(f"{module.__name__}.{name}")
+    assert not undocumented, (
+        "functions missing docstrings: " + ", ".join(undocumented))

@@ -1,0 +1,94 @@
+"""Tests for beyond-accuracy metrics (coverage, Gini, novelty, ILD)."""
+
+import numpy as np
+import pytest
+
+from repro.data import tiny_dataset
+from repro.eval import (beyond_accuracy_report, exposure_counts,
+                        gini_index, intra_list_distance, item_coverage,
+                        novelty)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return tiny_dataset(seed=101, num_users=40, num_items=30,
+                        mean_degree=6.0)
+
+
+@pytest.fixture(scope="module")
+def random_scores(dataset):
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(dataset.num_users, dataset.num_items))
+
+
+@pytest.fixture(scope="module")
+def popularity_scores(dataset):
+    degrees = dataset.train.item_degrees().astype(float)
+    return np.tile(degrees, (dataset.num_users, 1))
+
+
+class TestCoverage:
+    def test_random_scores_cover_most(self, dataset, random_scores):
+        assert item_coverage(random_scores, dataset, k=10) > 0.8
+
+    def test_popularity_scores_cover_little(self, dataset,
+                                            popularity_scores):
+        random_cov = 1.0
+        pop_cov = item_coverage(popularity_scores, dataset, k=5)
+        assert pop_cov < random_cov
+
+    def test_bounds(self, dataset, random_scores):
+        cov = item_coverage(random_scores, dataset, k=5)
+        assert 0.0 < cov <= 1.0
+
+
+class TestGini:
+    def test_popularity_more_concentrated_than_random(
+            self, dataset, random_scores, popularity_scores):
+        assert gini_index(popularity_scores, dataset, k=5) > \
+            gini_index(random_scores, dataset, k=5)
+
+    def test_range(self, dataset, random_scores):
+        g = gini_index(random_scores, dataset, k=10)
+        assert 0.0 <= g <= 1.0
+
+    def test_exposure_counts_sum(self, dataset, random_scores):
+        counts = exposure_counts(random_scores, dataset, k=7)
+        assert counts.sum() == dataset.num_users * 7
+
+
+class TestNovelty:
+    def test_random_more_novel_than_popularity(self, dataset,
+                                               random_scores,
+                                               popularity_scores):
+        assert novelty(random_scores, dataset, k=10) > \
+            novelty(popularity_scores, dataset, k=10)
+
+    def test_positive(self, dataset, random_scores):
+        assert novelty(random_scores, dataset, k=5) > 0
+
+
+class TestILD:
+    def test_identical_embeddings_zero_distance(self, dataset,
+                                                random_scores):
+        emb = np.tile(np.array([1.0, 2.0]), (dataset.num_items, 1))
+        assert intra_list_distance(random_scores, dataset, emb, k=5) == \
+            pytest.approx(0.0, abs=1e-9)
+
+    def test_diverse_embeddings_positive(self, dataset, random_scores):
+        rng = np.random.default_rng(1)
+        emb = rng.normal(size=(dataset.num_items, 8))
+        assert intra_list_distance(random_scores, dataset, emb, k=5) > 0
+
+
+class TestReport:
+    def test_keys(self, dataset, random_scores):
+        report = beyond_accuracy_report(random_scores, dataset, k=10)
+        assert set(report) == {"coverage@10", "gini@10", "novelty@10"}
+
+    def test_with_embeddings(self, dataset, random_scores):
+        rng = np.random.default_rng(2)
+        emb = rng.normal(size=(dataset.num_items, 4))
+        report = beyond_accuracy_report(random_scores, dataset,
+                                        item_embeddings=emb, k=10)
+        assert "ild@10" in report

@@ -1,0 +1,60 @@
+"""Tests for the MAD over-smoothing probe."""
+
+import numpy as np
+import pytest
+
+from repro.eval import mean_average_distance, neighbour_smoothness
+
+
+class TestMAD:
+    def test_identical_embeddings_zero(self):
+        emb = np.tile(np.array([1.0, 2.0, 3.0]), (5, 1))
+        assert mean_average_distance(emb) == pytest.approx(0.0, abs=1e-12)
+
+    def test_orthogonal_embeddings_one(self):
+        emb = np.eye(4)
+        assert mean_average_distance(emb) == pytest.approx(1.0)
+
+    def test_antipodal_embeddings_two(self):
+        emb = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        assert mean_average_distance(emb) == pytest.approx(2.0)
+
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        emb = rng.normal(size=(50, 8))
+        val = mean_average_distance(emb)
+        assert 0.0 <= val <= 2.0
+
+    def test_sampled_close_to_exact(self):
+        rng = np.random.default_rng(1)
+        emb = rng.normal(size=(100, 8))
+        exact = mean_average_distance(emb)
+        sampled = mean_average_distance(emb, sample_pairs=20000,
+                                        rng=np.random.default_rng(2))
+        assert sampled == pytest.approx(exact, abs=0.03)
+
+    def test_oversmoothing_detected(self):
+        """Averaging neighbours must lower MAD — the paper's core claim."""
+        rng = np.random.default_rng(3)
+        emb = rng.normal(size=(40, 8))
+        smoothed = emb.copy()
+        for _ in range(10):
+            smoothed = 0.5 * smoothed + 0.5 * smoothed.mean(
+                axis=0, keepdims=True)
+        assert mean_average_distance(smoothed) < mean_average_distance(emb)
+
+    def test_needs_two_rows(self):
+        with pytest.raises(ValueError):
+            mean_average_distance(np.ones((1, 3)))
+
+
+class TestNeighbourSmoothness:
+    def test_connected_identical_is_one(self):
+        emb = np.tile(np.array([1.0, 0.0]), (4, 1))
+        rows, cols = np.array([0, 1]), np.array([2, 3])
+        assert neighbour_smoothness(emb, rows, cols) == pytest.approx(1.0)
+
+    def test_orthogonal_pairs_zero(self):
+        emb = np.eye(4)
+        rows, cols = np.array([0]), np.array([1])
+        assert neighbour_smoothness(emb, rows, cols) == pytest.approx(0.0)

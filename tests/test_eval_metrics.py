@@ -1,0 +1,100 @@
+"""Tests for the ranking metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (aggregate_metrics, average_precision,
+                        compute_user_metrics, hit_rate_at_k, mrr,
+                        ndcg_at_k, precision_at_k, recall_at_k)
+
+
+RANKED = np.array([5, 2, 8, 1, 9, 0, 3, 7, 4, 6])
+
+
+class TestRecall:
+    def test_perfect(self):
+        assert recall_at_k(RANKED, np.array([5, 2]), 2) == 1.0
+
+    def test_partial(self):
+        assert recall_at_k(RANKED, np.array([5, 6]), 2) == 0.5
+
+    def test_zero(self):
+        assert recall_at_k(RANKED, np.array([6]), 3) == 0.0
+
+    def test_more_positives_than_k(self):
+        # 3 positives, k=2, both top-2 hit -> 2/3
+        assert recall_at_k(RANKED, np.array([5, 2, 6]), 2) == \
+            pytest.approx(2 / 3)
+
+    def test_empty_positives_raises(self):
+        with pytest.raises(ValueError):
+            recall_at_k(RANKED, np.array([]), 5)
+
+
+class TestNDCG:
+    def test_perfect_ordering_is_one(self):
+        assert ndcg_at_k(RANKED, np.array([5, 2, 8]), 3) == pytest.approx(1.0)
+
+    def test_position_sensitivity(self):
+        early = ndcg_at_k(RANKED, np.array([5]), 5)
+        late = ndcg_at_k(RANKED, np.array([9]), 5)
+        assert early > late > 0
+
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            positives = rng.choice(10, size=3, replace=False)
+            val = ndcg_at_k(RANKED, positives, 5)
+            assert 0.0 <= val <= 1.0
+
+    def test_known_value(self):
+        # positive at rank 2 only, k=2: dcg=1/log2(3), idcg=1/log2(2)
+        val = ndcg_at_k(RANKED, np.array([2]), 2)
+        assert val == pytest.approx((1 / np.log2(3)) / 1.0)
+
+    def test_empty_positives_raises(self):
+        with pytest.raises(ValueError):
+            ndcg_at_k(RANKED, np.array([]), 5)
+
+
+class TestOtherMetrics:
+    def test_precision(self):
+        assert precision_at_k(RANKED, np.array([5, 8]), 4) == 0.5
+
+    def test_hit_rate(self):
+        assert hit_rate_at_k(RANKED, np.array([8]), 3) == 1.0
+        assert hit_rate_at_k(RANKED, np.array([8]), 2) == 0.0
+
+    def test_mrr_first_hit(self):
+        assert mrr(RANKED, np.array([2])) == pytest.approx(0.5)
+
+    def test_mrr_no_hit(self):
+        assert mrr(RANKED, np.array([99])) == 0.0
+
+    def test_average_precision_perfect(self):
+        assert average_precision(RANKED, np.array([5, 2]), 2) == \
+            pytest.approx(1.0)
+
+    def test_average_precision_no_hits(self):
+        assert average_precision(RANKED, np.array([99]), 5) == 0.0
+
+
+class TestComputeAndAggregate:
+    def test_compute_user_metrics_keys(self):
+        out = compute_user_metrics(RANKED, np.array([5]), ks=(2, 5),
+                                   metrics=("recall", "ndcg", "hit"))
+        assert set(out) == {"recall@2", "recall@5", "ndcg@2", "ndcg@5",
+                            "hit@2", "hit@5"}
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(KeyError):
+            compute_user_metrics(RANKED, np.array([5]), ks=(2,),
+                                 metrics=("accuracy",))
+
+    def test_aggregate_mean(self):
+        per_user = [{"recall@2": 1.0}, {"recall@2": 0.0},
+                    {"recall@2": 0.5}]
+        assert aggregate_metrics(per_user)["recall@2"] == pytest.approx(0.5)
+
+    def test_aggregate_empty(self):
+        assert aggregate_metrics([]) == {}

@@ -1,0 +1,80 @@
+"""Tests for the full-ranking evaluation protocol."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.data import InteractionDataset
+from repro.eval import evaluate_model, evaluate_scores, rank_items
+from repro.graph import InteractionGraph
+
+
+@pytest.fixture
+def dataset():
+    train = InteractionGraph.from_edges(
+        np.array([0, 0, 1, 1, 2]), np.array([0, 1, 2, 3, 4]), 3, 6)
+    test = sp.csr_matrix(
+        (np.ones(3), (np.array([0, 1, 2]), np.array([2, 4, 0]))),
+        shape=(3, 6))
+    return InteractionDataset(name="proto", train=train, test_matrix=test)
+
+
+class TestRankItems:
+    def test_train_items_excluded(self, dataset):
+        scores = np.ones((3, 6))
+        scores[0] = [9, 8, 7, 6, 5, 4]
+        ranked = rank_items(scores, dataset.train.matrix, 0)
+        # items 0 and 1 are train positives for user 0: must not appear first
+        assert ranked[0] == 2
+        assert 0 not in ranked[:4]
+        assert 1 not in ranked[:4]
+
+    def test_topk_matches_full_sort(self, dataset):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=(3, 6))
+        full = rank_items(scores, dataset.train.matrix, 1)
+        top3 = rank_items(scores, dataset.train.matrix, 1, k=3)
+        np.testing.assert_array_equal(full[:3], top3)
+
+
+class TestEvaluateScores:
+    def test_oracle_scores_give_perfect_recall(self, dataset):
+        scores = dataset.test_matrix.toarray() * 10.0
+        out = evaluate_scores(scores, dataset, ks=(1, 2))
+        assert out["recall@1"] == pytest.approx(1.0)
+        assert out["ndcg@1"] == pytest.approx(1.0)
+
+    def test_inverted_scores_give_zero_at_1(self, dataset):
+        scores = -dataset.test_matrix.toarray() * 10.0
+        out = evaluate_scores(scores, dataset, ks=(1,))
+        assert out["recall@1"] == 0.0
+
+    def test_user_subset(self, dataset):
+        scores = dataset.test_matrix.toarray() * 10.0
+        scores[0] = 0.0  # ruin user 0
+        subset = evaluate_scores(scores, dataset, ks=(1,),
+                                 users=np.array([1, 2]))
+        assert subset["recall@1"] == pytest.approx(1.0)
+
+    def test_custom_test_matrix(self, dataset):
+        other = sp.csr_matrix(
+            (np.ones(1), (np.array([0]), np.array([5]))), shape=(3, 6))
+        scores = np.zeros((3, 6))
+        scores[0, 5] = 1.0
+        out = evaluate_scores(scores, dataset, ks=(1,), test_matrix=other)
+        assert out["recall@1"] == pytest.approx(1.0)
+
+    def test_k_larger_than_items(self, dataset):
+        scores = np.random.default_rng(1).normal(size=(3, 6))
+        out = evaluate_scores(scores, dataset, ks=(100,))
+        assert out["recall@100"] == pytest.approx(1.0)
+
+
+class TestEvaluateModel:
+    def test_wraps_score_all_users(self, dataset):
+        class Oracle:
+            def score_all_users(self_inner):
+                return dataset.test_matrix.toarray() * 5.0
+
+        out = evaluate_model(Oracle(), dataset, ks=(1,))
+        assert out["recall@1"] == pytest.approx(1.0)

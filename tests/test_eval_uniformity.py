@@ -1,0 +1,59 @@
+"""Tests for the embedding-distribution statistics (Fig 7 probes)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import alignment, pca_projection, radial_spread, uniformity
+
+
+class TestUniformity:
+    def test_collapsed_less_uniform_than_spread(self):
+        rng = np.random.default_rng(0)
+        collapsed = np.ones((32, 6)) + 0.01 * rng.normal(size=(32, 6))
+        spread = rng.normal(size=(32, 6))
+        assert uniformity(spread) < uniformity(collapsed)
+
+    def test_value_nonpositive(self):
+        rng = np.random.default_rng(1)
+        assert uniformity(rng.normal(size=(20, 4))) <= 0.0
+
+
+class TestAlignment:
+    def test_identical_views_zero(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(10, 5))
+        assert alignment(x, x) == pytest.approx(0.0, abs=1e-12)
+
+    def test_bounded_by_four(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(10, 5))
+        b = rng.normal(size=(10, 5))
+        assert 0.0 <= alignment(a, b) <= 4.0
+
+
+class TestRadialSpread:
+    def test_zero_for_constant_norms(self):
+        emb = np.eye(5) * 3.0
+        assert radial_spread(emb) == pytest.approx(0.0)
+
+    def test_positive_otherwise(self):
+        emb = np.diag([1.0, 2.0, 3.0])
+        assert radial_spread(emb) > 0
+
+
+class TestPCA:
+    def test_shapes(self):
+        rng = np.random.default_rng(4)
+        emb = rng.normal(size=(30, 8))
+        proj, ratio = pca_projection(emb, num_components=2)
+        assert proj.shape == (30, 2)
+        assert ratio.shape == (2,)
+        assert 0 < ratio.sum() <= 1.0 + 1e-9
+
+    def test_captures_dominant_direction(self):
+        rng = np.random.default_rng(5)
+        direction = np.array([1.0, 1.0, 0.0, 0.0])
+        emb = (rng.normal(size=(100, 1)) * 5.0) * direction[None, :]
+        emb += 0.01 * rng.normal(size=(100, 4))
+        _, ratio = pca_projection(emb, num_components=1)
+        assert ratio[0] > 0.95

@@ -1,0 +1,95 @@
+"""Tests for InteractionGraph."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import InteractionGraph
+
+
+@pytest.fixture
+def graph():
+    users = np.array([0, 0, 1, 2, 2, 2])
+    items = np.array([0, 1, 1, 0, 2, 3])
+    return InteractionGraph.from_edges(users, items, 3, 4)
+
+
+class TestConstruction:
+    def test_shape_and_counts(self, graph):
+        assert graph.num_users == 3
+        assert graph.num_items == 4
+        assert graph.num_nodes == 7
+        assert graph.num_interactions == 6
+
+    def test_binary_values(self):
+        matrix = sp.csr_matrix(np.array([[2.0, 0.0], [0.0, 5.0]]))
+        graph = InteractionGraph(matrix)
+        assert set(graph.matrix.data.tolist()) == {1.0}
+
+    def test_duplicate_edges_collapse(self):
+        graph = InteractionGraph.from_edges(
+            np.array([0, 0]), np.array([1, 1]), 2, 2)
+        assert graph.num_interactions == 1
+
+    def test_out_of_range_user_raises(self):
+        with pytest.raises(ValueError):
+            InteractionGraph.from_edges(np.array([5]), np.array([0]), 3, 4)
+
+    def test_out_of_range_item_raises(self):
+        with pytest.raises(ValueError):
+            InteractionGraph.from_edges(np.array([0]), np.array([9]), 3, 4)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            InteractionGraph.from_edges(np.array([0, 1]), np.array([0]),
+                                        3, 4)
+
+
+class TestDerived:
+    def test_degrees(self, graph):
+        np.testing.assert_array_equal(graph.user_degrees(), [2, 1, 3])
+        np.testing.assert_array_equal(graph.item_degrees(), [2, 2, 1, 1])
+
+    def test_density(self, graph):
+        assert graph.density == pytest.approx(6 / 12)
+
+    def test_edges_roundtrip(self, graph):
+        rows, cols = graph.edges()
+        rebuilt = InteractionGraph.from_edges(rows, cols, 3, 4)
+        assert (rebuilt.matrix != graph.matrix).nnz == 0
+
+    def test_has_edge(self, graph):
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 0)
+
+    def test_bipartite_adjacency_symmetric(self, graph):
+        adj = graph.bipartite_adjacency()
+        assert adj.shape == (7, 7)
+        assert (adj != adj.T).nnz == 0
+        # no user-user or item-item edges
+        assert adj[:3, :3].nnz == 0
+        assert adj[3:, 3:].nnz == 0
+        assert adj.nnz == 2 * graph.num_interactions
+
+    def test_item_node_ids(self, graph):
+        np.testing.assert_array_equal(
+            graph.item_node_ids(np.array([0, 3])), [3, 6])
+
+
+class TestModification:
+    def test_with_extra_edges(self, graph):
+        bigger = graph.with_extra_edges(np.array([1]), np.array([3]))
+        assert bigger.num_interactions == 7
+        assert bigger.has_edge(1, 3)
+        assert graph.num_interactions == 6  # original untouched
+
+    def test_subgraph_without_edges(self, graph):
+        mask = np.zeros(6, dtype=bool)
+        mask[0] = True
+        smaller = graph.subgraph_without_edges(mask)
+        assert smaller.num_interactions == 5
+
+    def test_copy_independent(self, graph):
+        dup = graph.copy()
+        dup.matrix.data[:] = 0.0
+        assert graph.matrix.data.sum() == 6

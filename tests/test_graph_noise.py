@@ -1,0 +1,53 @@
+"""Tests for fake-edge injection (Fig 3 protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import InteractionGraph, inject_fake_edges
+
+
+@pytest.fixture
+def graph():
+    rng = np.random.default_rng(0)
+    users = rng.integers(0, 30, size=150)
+    items = rng.integers(0, 25, size=150)
+    return InteractionGraph.from_edges(users, items, 30, 25)
+
+
+class TestInjectFakeEdges:
+    def test_adds_requested_count(self, graph):
+        rng = np.random.default_rng(1)
+        noisy, fu, fi = inject_fake_edges(graph, 0.2, rng)
+        target = round(0.2 * graph.num_interactions)
+        assert len(fu) == target
+        assert noisy.num_interactions == graph.num_interactions + target
+
+    def test_fakes_not_in_original(self, graph):
+        rng = np.random.default_rng(2)
+        _, fu, fi = inject_fake_edges(graph, 0.25, rng)
+        original = set(zip(*graph.edges()))
+        for pair in zip(fu, fi):
+            assert (int(pair[0]), int(pair[1])) not in original
+
+    def test_fakes_unique(self, graph):
+        rng = np.random.default_rng(3)
+        _, fu, fi = inject_fake_edges(graph, 0.25, rng)
+        pairs = list(zip(fu.tolist(), fi.tolist()))
+        assert len(pairs) == len(set(pairs))
+
+    def test_zero_ratio_copy(self, graph):
+        rng = np.random.default_rng(4)
+        noisy, fu, fi = inject_fake_edges(graph, 0.0, rng)
+        assert noisy.num_interactions == graph.num_interactions
+        assert len(fu) == 0
+        # must be a copy, not the same object
+        assert noisy is not graph
+
+    def test_negative_ratio_raises(self, graph):
+        with pytest.raises(ValueError):
+            inject_fake_edges(graph, -0.1, np.random.default_rng(0))
+
+    def test_original_untouched(self, graph):
+        before = graph.num_interactions
+        inject_fake_edges(graph, 0.2, np.random.default_rng(5))
+        assert graph.num_interactions == before

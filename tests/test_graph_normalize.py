@@ -1,0 +1,105 @@
+"""Tests for adjacency normalization."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import (InteractionGraph, adjacency_power_apply,
+                         normalized_edge_weights, row_normalize,
+                         symmetric_normalize)
+
+
+@pytest.fixture
+def adjacency():
+    graph = InteractionGraph.from_edges(
+        np.array([0, 0, 1, 2]), np.array([0, 1, 1, 2]), 3, 3)
+    return graph.bipartite_adjacency()
+
+
+class TestSymmetricNormalize:
+    def test_matches_dense_formula(self, adjacency):
+        norm = symmetric_normalize(adjacency, add_self_loops=True)
+        dense = adjacency.toarray() + np.eye(6)
+        deg = dense.sum(axis=1)
+        expected = dense / np.sqrt(np.outer(deg, deg))
+        np.testing.assert_allclose(norm.toarray(), expected)
+
+    def test_no_self_loops_variant(self, adjacency):
+        norm = symmetric_normalize(adjacency, add_self_loops=False)
+        assert np.allclose(norm.toarray().diagonal(), 0.0)
+
+    def test_symmetry_preserved(self, adjacency):
+        norm = symmetric_normalize(adjacency)
+        np.testing.assert_allclose(norm.toarray(), norm.toarray().T)
+
+    def test_isolated_node_row_zero(self):
+        adj = sp.csr_matrix((3, 3))
+        adj[0, 1] = adj[1, 0] = 1.0
+        norm = symmetric_normalize(adj.tocsr(), add_self_loops=False)
+        np.testing.assert_allclose(norm.toarray()[2], np.zeros(3))
+
+    def test_spectral_radius_bounded(self, adjacency):
+        norm = symmetric_normalize(adjacency, add_self_loops=True)
+        eigvals = np.linalg.eigvalsh(norm.toarray())
+        assert np.abs(eigvals).max() <= 1.0 + 1e-10
+
+
+class TestRowNormalize:
+    def test_rows_sum_to_one(self, adjacency):
+        norm = row_normalize(adjacency)
+        sums = np.asarray(norm.sum(axis=1)).ravel()
+        occupied = np.asarray(adjacency.sum(axis=1)).ravel() > 0
+        np.testing.assert_allclose(sums[occupied], 1.0)
+
+    def test_empty_rows_stay_zero(self):
+        adj = sp.csr_matrix((2, 2))
+        norm = row_normalize(adj)
+        assert norm.nnz == 0
+
+
+class TestNormalizedEdgeWeights:
+    def test_matches_symmetric_normalization(self):
+        rows = np.array([0, 1, 2])
+        cols = np.array([3, 3, 4])
+        weights = np.array([1.0, 1.0, 1.0])
+        normed = normalized_edge_weights(rows, cols, weights, 5)
+        # build the symmetric matrix and compare entries
+        full = sp.csr_matrix(
+            (np.concatenate([weights, weights]),
+             (np.concatenate([rows, cols]), np.concatenate([cols, rows]))),
+            shape=(5, 5))
+        reference = symmetric_normalize(full, add_self_loops=False)
+        for idx in range(3):
+            assert normed[idx] == pytest.approx(
+                reference[rows[idx], cols[idx]])
+
+    def test_weighted_degrees(self):
+        rows = np.array([0])
+        cols = np.array([1])
+        weights = np.array([4.0])
+        # degree of both endpoints is 4 -> w/sqrt(16) = 1.0
+        assert normalized_edge_weights(rows, cols, weights, 2)[0] == \
+            pytest.approx(1.0)
+
+    def test_zero_weight_edges(self):
+        rows = np.array([0, 1])
+        cols = np.array([1, 0])
+        weights = np.array([0.0, 0.0])
+        normed = normalized_edge_weights(rows, cols, weights, 2)
+        np.testing.assert_allclose(normed, 0.0)
+
+
+class TestPowerApply:
+    def test_matches_matrix_power(self, adjacency):
+        norm = symmetric_normalize(adjacency)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(6, 3))
+        for power in range(4):
+            iterated = adjacency_power_apply(norm, x, power)
+            direct = np.linalg.matrix_power(norm.toarray(), power) @ x
+            np.testing.assert_allclose(iterated, direct, atol=1e-12)
+
+    def test_negative_power_raises(self, adjacency):
+        norm = symmetric_normalize(adjacency)
+        with pytest.raises(ValueError):
+            adjacency_power_apply(norm, np.ones((6, 1)), -1)

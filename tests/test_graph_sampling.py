@@ -1,0 +1,80 @@
+"""Tests for stochastic structure augmentation (SGL-style corruption)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (InteractionGraph, edge_dropout, feature_mask,
+                         node_dropout, random_walk_subgraph)
+
+
+@pytest.fixture
+def graph():
+    rng = np.random.default_rng(0)
+    users = rng.integers(0, 20, size=200)
+    items = rng.integers(0, 15, size=200)
+    return InteractionGraph.from_edges(users, items, 20, 15)
+
+
+class TestEdgeDropout:
+    def test_drops_roughly_rate(self, graph):
+        rng = np.random.default_rng(1)
+        dropped = edge_dropout(graph, 0.5, rng)
+        kept = dropped.num_interactions / graph.num_interactions
+        assert 0.3 < kept < 0.7
+
+    def test_zero_rate_keeps_all(self, graph):
+        rng = np.random.default_rng(1)
+        dropped = edge_dropout(graph, 0.0, rng)
+        assert dropped.num_interactions == graph.num_interactions
+
+    def test_never_empty(self, graph):
+        rng = np.random.default_rng(1)
+        dropped = edge_dropout(graph, 0.999, rng)
+        assert dropped.num_interactions >= 1
+
+    def test_subset_of_original(self, graph):
+        rng = np.random.default_rng(2)
+        dropped = edge_dropout(graph, 0.4, rng)
+        original = set(zip(*graph.edges()))
+        for edge in zip(*dropped.edges()):
+            assert edge in original
+
+    def test_invalid_rate_raises(self, graph):
+        with pytest.raises(ValueError):
+            edge_dropout(graph, 1.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            edge_dropout(graph, -0.1, np.random.default_rng(0))
+
+
+class TestNodeDropout:
+    def test_dropped_users_lose_all_edges(self, graph):
+        rng = np.random.default_rng(3)
+        dropped = node_dropout(graph, 0.3, rng)
+        # any user present must keep edges only to surviving items;
+        # all removed edges must belong to a fully-removed user or item
+        orig_deg = graph.user_degrees()
+        new_deg = dropped.user_degrees()
+        assert (new_deg <= orig_deg).all()
+
+    def test_shape_preserved(self, graph):
+        rng = np.random.default_rng(3)
+        dropped = node_dropout(graph, 0.3, rng)
+        assert dropped.num_users == graph.num_users
+        assert dropped.num_items == graph.num_items
+
+
+class TestRandomWalk:
+    def test_one_graph_per_layer(self, graph):
+        rng = np.random.default_rng(4)
+        views = random_walk_subgraph(graph, 0.3, rng, num_layers=3)
+        assert len(views) == 3
+        sizes = {v.num_interactions for v in views}
+        assert all(s <= graph.num_interactions for s in sizes)
+
+
+class TestFeatureMask:
+    def test_mask_binary_and_rate(self):
+        rng = np.random.default_rng(5)
+        mask = feature_mask((500, 20), 0.3, rng)
+        assert set(np.unique(mask)) <= {0.0, 1.0}
+        assert mask.mean() == pytest.approx(0.7, abs=0.03)

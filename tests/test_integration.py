@@ -1,0 +1,116 @@
+"""End-to-end integration tests across the whole library.
+
+These exercise the same paths a downstream user (and the benchmark
+harness) takes: generate data -> build model -> train -> evaluate ->
+analyse, including file round-trips and the robustness / group protocols
+driving real models rather than oracles.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GraphAug
+from repro.data import load_npz, load_profile, save_npz, tiny_dataset
+from repro.eval import (evaluate_item_groups, evaluate_scores,
+                        evaluate_user_groups, mean_average_distance,
+                        noise_robustness_curve, uniformity)
+from repro.graph import inject_fake_edges
+from repro.models import build_model
+from repro.train import ModelConfig, TrainConfig, fit_model
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return tiny_dataset(seed=77, num_users=80, num_items=60,
+                        mean_degree=9.0)
+
+
+@pytest.fixture(scope="module")
+def trained_graphaug(dataset):
+    model = build_model(
+        "graphaug", dataset,
+        ModelConfig(embedding_dim=16, num_layers=2, ssl_weight=1.0),
+        seed=0)
+    result = fit_model(model, dataset,
+                       TrainConfig(epochs=15, batch_size=128,
+                                   eval_every=5), seed=0)
+    return model, result
+
+
+class TestFullPipeline:
+    def test_train_eval_analyse(self, dataset, trained_graphaug):
+        model, result = trained_graphaug
+        assert result.best_metrics["recall@20"] > 0
+        scores = model.score_all_users()
+        metrics = evaluate_scores(scores, dataset, ks=(10, 20))
+        assert set(metrics) == {"recall@10", "recall@20", "ndcg@10",
+                                "ndcg@20"}
+        emb = model.node_embeddings()
+        assert 0.0 <= mean_average_distance(emb) <= 2.0
+        assert np.isfinite(uniformity(emb[:dataset.num_users]))
+
+    def test_group_protocols_with_real_model(self, dataset,
+                                             trained_graphaug):
+        model, _ = trained_graphaug
+        scores = model.score_all_users()
+        users = evaluate_user_groups(scores, dataset, num_groups=3,
+                                     ks=(20,))
+        items = evaluate_item_groups(scores, dataset, num_groups=3,
+                                     ks=(20,))
+        assert len(users) == 3 and len(items) == 3
+        for metrics in list(users.values()) + list(items.values()):
+            for value in metrics.values():
+                assert 0.0 <= value <= 1.0
+
+    def test_noise_protocol_with_real_model(self, dataset):
+        def train_fn(ds):
+            model = build_model("lightgcn", ds,
+                                ModelConfig(embedding_dim=16,
+                                            num_layers=2), seed=0)
+            fit_model(model, ds, TrainConfig(epochs=8, batch_size=128,
+                                             eval_every=8), seed=0)
+            return model.score_all_users()
+
+        curve = noise_robustness_curve(train_fn, dataset,
+                                       noise_ratios=(0.0, 0.2), seed=1)
+        assert curve[0.0] == 1.0
+        assert curve[0.2] > 0
+
+    def test_dataset_roundtrip_then_train(self, dataset, tmp_path):
+        path = str(tmp_path / "roundtrip.npz")
+        save_npz(dataset, path)
+        loaded = load_npz(path)
+        model = build_model("biasmf", loaded,
+                            ModelConfig(embedding_dim=8), seed=0)
+        result = fit_model(model, loaded,
+                           TrainConfig(epochs=3, batch_size=64,
+                                       eval_every=3), seed=0)
+        assert result.best_metrics
+
+    def test_fake_edges_then_graphaug_probes(self, dataset):
+        rng = np.random.default_rng(0)
+        noisy_graph, fake_u, fake_i = inject_fake_edges(dataset.train,
+                                                        0.2, rng)
+        noisy = dataset.with_train_graph(noisy_graph)
+        model = build_model("graphaug", noisy,
+                            ModelConfig(embedding_dim=16, num_layers=2,
+                                        ssl_weight=1.0), seed=0)
+        fit_model(model, noisy, TrainConfig(epochs=10, batch_size=128,
+                                            eval_every=10), seed=0)
+        probs = model.edge_keep_probabilities()
+        assert probs.shape == (len(model.candidates),)
+        users, items = model.propagate()
+        assert np.isfinite(users.data).all()
+        assert np.isfinite(items.data).all()
+
+    def test_profiles_train_end_to_end(self):
+        """Each Table-I profile trains a real model without surprises."""
+        for name in ("gowalla", "retail_rocket", "amazon"):
+            ds = load_profile(name, seed=1)
+            model = build_model("lightgcn", ds,
+                                ModelConfig(embedding_dim=16,
+                                            num_layers=2), seed=0)
+            result = fit_model(model, ds,
+                               TrainConfig(epochs=4, batch_size=512,
+                                           eval_every=4), seed=0)
+            assert result.best_metrics["recall@20"] > 0

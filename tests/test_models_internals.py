@@ -1,0 +1,124 @@
+"""White-box tests of model-specific internals across the zoo."""
+
+import numpy as np
+import pytest
+
+from repro.data import tiny_dataset
+from repro.models import build_model
+from repro.models.ncl import kmeans
+from repro.train import ModelConfig
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return tiny_dataset(seed=141)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ModelConfig(embedding_dim=16, num_layers=2)
+
+
+class TestSGLInternals:
+    def test_views_resampled_per_epoch(self, dataset, config):
+        model = build_model("sgl", dataset, config, seed=0)
+        before = [adj.copy() for adj in model._view_adjs]
+        model.on_epoch_start(1, np.random.default_rng(0))
+        after = model._view_adjs
+        changed = any((b != a).nnz > 0 for b, a in zip(before, after))
+        assert changed
+
+    def test_views_are_corrupted(self, dataset, config):
+        model = build_model("sgl", dataset, config, seed=0)
+        full_nnz = model.norm_adj.nnz
+        for adj in model._view_adjs:
+            assert adj.nnz < full_nnz
+
+
+class TestNCLInternals:
+    def test_kmeans_assignments_valid(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(50, 4))
+        centroids, assign = kmeans(points, 5, rng)
+        assert centroids.shape == (5, 4)
+        assert assign.shape == (50,)
+        assert set(np.unique(assign)) <= set(range(5))
+
+    def test_kmeans_fewer_points_than_clusters(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(3, 2))
+        centroids, assign = kmeans(points, 10, rng)
+        assert centroids.shape[0] == 3
+
+    def test_kmeans_separates_obvious_clusters(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(20, 2)) + 10.0
+        b = rng.normal(size=(20, 2)) - 10.0
+        _, assign = kmeans(np.vstack([a, b]), 2, rng)
+        # all of a in one cluster, all of b in the other
+        assert len(set(assign[:20])) == 1
+        assert len(set(assign[20:])) == 1
+        assert assign[0] != assign[20]
+
+    def test_prototypes_refreshed_on_schedule(self, dataset, config):
+        model = build_model("ncl", dataset, config, seed=0)
+        model.on_epoch_start(1, np.random.default_rng(0))
+        first = model._user_protos.copy()
+        # off-schedule epoch: unchanged
+        model.on_epoch_start(3, np.random.default_rng(0))
+        np.testing.assert_allclose(model._user_protos, first)
+
+
+class TestHCCFInternals:
+    def test_global_embeddings_shapes(self, dataset, config):
+        model = build_model("hccf", dataset, config, seed=0)
+        users, items = model.propagate()
+        g_users, g_items = model._global_embeddings(users, items)
+        assert g_users.shape == (dataset.num_users, config.embedding_dim)
+        assert g_items.shape == (dataset.num_items, config.embedding_dim)
+
+
+class TestMHCNInternals:
+    def test_three_channels(self, dataset, config):
+        model = build_model("mhcn", dataset, config, seed=0)
+        assert len(model.channels) == 3
+        n = dataset.num_users + dataset.num_items
+        for channel in model.channels:
+            assert channel.shape == (n, n)
+
+    def test_co_occurrence_blocks_are_block_diagonal(self, dataset,
+                                                     config):
+        model = build_model("mhcn", dataset, config, seed=0)
+        user_channel = model.channels[1].toarray()
+        nu = dataset.num_users
+        # item-item and cross blocks empty apart from self-loops
+        assert np.allclose(user_channel[:nu, nu:], 0.0)
+        assert np.allclose(user_channel[nu:, :nu], 0.0)
+
+
+class TestCGIInternals:
+    def test_learnable_edge_logits_start_keep_biased(self, dataset,
+                                                     config):
+        model = build_model("cgi", dataset, config, seed=0)
+        # initialized around +2: views start close to the full graph
+        assert model.edge_logits.data.mean() > 1.0
+
+    def test_view_weights_nonnegative(self, dataset, config):
+        model = build_model("cgi", dataset, config, seed=0)
+        view, keep = model._view()
+        assert ((keep.data > 0) & (keep.data < 1)).all()
+
+
+class TestAutoRecInternals:
+    def test_reconstruction_shape(self, dataset, config):
+        model = build_model("autorec", dataset, config, seed=0)
+        recon = model._reconstruct(model._rows[:5])
+        assert recon.shape == (5, dataset.num_items)
+
+
+class TestSimGCLInternals:
+    def test_noised_views_differ(self, dataset, config):
+        model = build_model("simgcl", dataset, config, seed=0)
+        a = model._noised_propagate()
+        b = model._noised_propagate()
+        assert not np.allclose(a.data, b.data)

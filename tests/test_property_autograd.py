@@ -1,0 +1,121 @@
+"""Property-based tests (hypothesis) for the autograd engine.
+
+These certify algebraic invariants over randomized inputs rather than
+hand-picked cases: linearity of the tape, broadcasting gradients, softmax
+normalization, stability of the stable primitives.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autograd import Tensor, functional as F, gradcheck, unbroadcast
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0,
+                          allow_nan=False, allow_infinity=False)
+
+
+def arrays(max_side=4, min_dims=1, max_dims=2):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=hnp.array_shapes(min_dims=min_dims, max_dims=max_dims,
+                               min_side=1, max_side=max_side),
+        elements=finite_floats)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays())
+def test_sum_gradient_is_ones(data):
+    x = Tensor(data, requires_grad=True)
+    x.sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(data))
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(), st.floats(min_value=-3, max_value=3, allow_nan=False))
+def test_scalar_mul_gradient(data, scalar):
+    x = Tensor(data, requires_grad=True)
+    (x * scalar).sum().backward()
+    np.testing.assert_allclose(x.grad, np.full_like(data, scalar))
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays())
+def test_add_self_doubles_gradient(data):
+    x = Tensor(data, requires_grad=True)
+    (x + x).sum().backward()
+    np.testing.assert_allclose(x.grad, 2 * np.ones_like(data))
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(max_side=5, min_dims=2, max_dims=2))
+def test_softmax_rows_are_distributions(data):
+    probs = F.softmax(Tensor(data)).data
+    assert (probs >= 0).all()
+    np.testing.assert_allclose(probs.sum(axis=-1),
+                               np.ones(data.shape[0]), atol=1e-10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(max_side=5, min_dims=2, max_dims=2))
+def test_logsumexp_bounds(data):
+    # max(x) <= logsumexp(x) <= max(x) + log(n)
+    out = Tensor(data).logsumexp(axis=-1).data
+    row_max = data.max(axis=-1)
+    n = data.shape[-1]
+    assert (out >= row_max - 1e-10).all()
+    assert (out <= row_max + np.log(n) + 1e-10).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays())
+def test_sigmoid_range_and_symmetry(data):
+    x = Tensor(data)
+    s = x.sigmoid().data
+    assert ((s > 0) & (s < 1)).all()
+    np.testing.assert_allclose(s + (-x).sigmoid().data,
+                               np.ones_like(data), atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(max_side=4, min_dims=2, max_dims=2))
+def test_l2_normalize_idempotent(data):
+    x = Tensor(data + 0.1)  # keep rows away from zero
+    once = F.l2_normalize(x).data
+    twice = F.l2_normalize(F.l2_normalize(x)).data
+    np.testing.assert_allclose(once, twice, atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=4),
+       st.integers(min_value=1, max_value=4))
+def test_unbroadcast_inverts_broadcast(rows, cols):
+    grad = np.ones((5, rows, cols))
+    reduced = unbroadcast(grad, (rows, cols))
+    assert reduced.shape == (rows, cols)
+    np.testing.assert_allclose(reduced, 5 * np.ones((rows, cols)))
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=2, max_value=5),
+       st.integers(min_value=2, max_value=4),
+       st.integers(min_value=0, max_value=10 ** 6))
+def test_matmul_chain_gradcheck(n, d, seed):
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.normal(size=(n, d)), requires_grad=True)
+    b = Tensor(rng.normal(size=(d, n)), requires_grad=True)
+    assert gradcheck(lambda a, b: ((a @ b).tanh()).sum(), [a, b])
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=6),
+       st.integers(min_value=0, max_value=10 ** 6))
+def test_bpr_loss_antisymmetry(n, seed):
+    """Swapping pos/neg scores mirrors the loss around log(2)... more
+    precisely: bpr(p, n) + bpr(n, p) >= 2*log(2) with equality iff p==n."""
+    rng = np.random.default_rng(seed)
+    pos = Tensor(rng.normal(size=n))
+    neg = Tensor(rng.normal(size=n))
+    forward = F.bpr_loss(pos, neg).item()
+    backward = F.bpr_loss(neg, pos).item()
+    assert forward + backward >= 2 * np.log(2.0) - 1e-9

@@ -1,0 +1,120 @@
+"""Property-based tests (hypothesis) for graph and data invariants."""
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.data.splits import holdout_split, quantile_groups
+from repro.eval import ndcg_at_k, recall_at_k
+from repro.graph import (InteractionGraph, inject_fake_edges,
+                         normalized_edge_weights, symmetric_normalize)
+
+
+@st.composite
+def random_graph(draw, max_users=15, max_items=12, max_edges=60):
+    num_users = draw(st.integers(min_value=2, max_value=max_users))
+    num_items = draw(st.integers(min_value=2, max_value=max_items))
+    n_edges = draw(st.integers(min_value=1, max_value=max_edges))
+    seed = draw(st.integers(min_value=0, max_value=10 ** 6))
+    rng = np.random.default_rng(seed)
+    users = rng.integers(0, num_users, size=n_edges)
+    items = rng.integers(0, num_items, size=n_edges)
+    return InteractionGraph.from_edges(users, items, num_users, num_items)
+
+
+class TestGraphProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(random_graph())
+    def test_bipartite_adjacency_always_symmetric(self, graph):
+        adj = graph.bipartite_adjacency()
+        assert (adj != adj.T).nnz == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_graph())
+    def test_degree_sums_match_edge_count(self, graph):
+        assert graph.user_degrees().sum() == graph.num_interactions
+        assert graph.item_degrees().sum() == graph.num_interactions
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_graph())
+    def test_normalized_spectral_radius(self, graph):
+        norm = symmetric_normalize(graph.bipartite_adjacency(),
+                                   add_self_loops=True)
+        eigvals = np.linalg.eigvalsh(norm.toarray())
+        assert np.abs(eigvals).max() <= 1.0 + 1e-8
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_graph(), st.floats(min_value=0.0, max_value=0.5))
+    def test_noise_injection_edge_accounting(self, graph, ratio):
+        rng = np.random.default_rng(0)
+        noisy, fake_u, fake_i = inject_fake_edges(graph, ratio, rng)
+        assert noisy.num_interactions == \
+            graph.num_interactions + len(fake_u)
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_graph(), st.integers(min_value=0, max_value=10 ** 6))
+    def test_edge_weight_normalization_bounded(self, graph, seed):
+        rows, cols = graph.edges()
+        rng = np.random.default_rng(seed)
+        weights = rng.uniform(0.1, 2.0, size=len(rows))
+        item_nodes = cols + graph.num_users
+        normed = normalized_edge_weights(rows, item_nodes, weights,
+                                         graph.num_nodes)
+        # normalized weight of edge e is w_e / sqrt(d_r d_c) with
+        # d >= w_e on both sides, so it cannot exceed 1
+        assert (normed <= 1.0 + 1e-9).all()
+        assert (normed >= 0.0).all()
+
+
+class TestSplitProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(random_graph(),
+           st.floats(min_value=0.05, max_value=0.95))
+    def test_holdout_is_a_partition(self, graph, fraction):
+        rng = np.random.default_rng(0)
+        train, test = holdout_split(graph, fraction, rng)
+        assert train.num_interactions + test.nnz == graph.num_interactions
+        assert train.matrix.multiply(test).nnz == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=100),
+                    min_size=5, max_size=60),
+           st.integers(min_value=2, max_value=5))
+    def test_quantile_groups_partition(self, degrees, k):
+        groups = quantile_groups(np.array(degrees), num_groups=k)
+        combined = sorted(np.concatenate(list(groups.values())).tolist())
+        assert combined == list(range(len(degrees)))
+
+
+class TestMetricProperties:
+    @st.composite
+    @staticmethod
+    def ranking_case(draw):
+        n_items = draw(st.integers(min_value=3, max_value=30))
+        seed = draw(st.integers(min_value=0, max_value=10 ** 6))
+        rng = np.random.default_rng(seed)
+        ranked = rng.permutation(n_items)
+        n_pos = draw(st.integers(min_value=1, max_value=n_items))
+        positives = rng.choice(n_items, size=n_pos, replace=False)
+        k = draw(st.integers(min_value=1, max_value=n_items))
+        return ranked, positives, k
+
+    @settings(max_examples=50, deadline=None)
+    @given(ranking_case())
+    def test_metrics_in_unit_interval(self, case):
+        ranked, positives, k = case
+        assert 0.0 <= recall_at_k(ranked, positives, k) <= 1.0
+        assert 0.0 <= ndcg_at_k(ranked, positives, k) <= 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(ranking_case())
+    def test_recall_monotone_in_k(self, case):
+        ranked, positives, k = case
+        assume(k < len(ranked))
+        assert recall_at_k(ranked, positives, k + 1) >= \
+            recall_at_k(ranked, positives, k)
+
+    @settings(max_examples=50, deadline=None)
+    @given(ranking_case())
+    def test_full_ranking_recall_is_one(self, case):
+        ranked, positives, _ = case
+        assert recall_at_k(ranked, positives, len(ranked)) == 1.0

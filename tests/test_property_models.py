@@ -1,0 +1,94 @@
+"""Property-based tests (hypothesis) over model-level invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor, functional as F
+from repro.core.gib import pool_gaussian_parameters
+from repro.core.sampling import sample_view
+from repro.core.augmentor import CandidateEdges
+
+
+class TestContrastiveProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=10),
+           st.integers(min_value=2, max_value=6),
+           st.integers(min_value=0, max_value=10 ** 6))
+    def test_decomposed_r1_equals_infonce(self, n, d, seed):
+        """negative_weight=1 must reduce exactly to InfoNCE."""
+        rng = np.random.default_rng(seed)
+        a = Tensor(rng.normal(size=(n, d)))
+        b = Tensor(rng.normal(size=(n, d)))
+        full = F.decomposed_infonce_loss(a, b, 0.5, 1.0).item()
+        reference = F.infonce_loss(a, b, 0.5).item()
+        assert abs(full - reference) < 1e-10
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=10),
+           st.integers(min_value=0, max_value=10 ** 6))
+    def test_alignment_term_minimized_by_identical_views(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = Tensor(rng.normal(size=(n, 4)))
+        other = Tensor(rng.normal(size=(n, 4)))
+        aligned = F.decomposed_infonce_loss(a, a, 0.5, 0.0).item()
+        misaligned = F.decomposed_infonce_loss(a, other, 0.5, 0.0).item()
+        assert aligned <= misaligned + 1e-9
+
+
+class TestGIBProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=4),
+           st.integers(min_value=0, max_value=10 ** 6))
+    def test_pooling_is_permutation_invariant(self, n, k_views, seed):
+        rng = np.random.default_rng(seed)
+        views = [Tensor(rng.normal(size=(n, 8))) for _ in range(k_views)]
+        mu_a, lv_a = pool_gaussian_parameters(views)
+        mu_b, lv_b = pool_gaussian_parameters(list(reversed(views)))
+        np.testing.assert_allclose(mu_a.data, mu_b.data, atol=1e-12)
+        np.testing.assert_allclose(lv_a.data, lv_b.data, atol=1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=0, max_value=10 ** 6))
+    def test_kl_nonnegative(self, n, seed):
+        rng = np.random.default_rng(seed)
+        mu = Tensor(rng.normal(size=(n, 4)))
+        log_var = Tensor(rng.normal(size=(n, 4)))
+        assert F.gaussian_kl(mu, log_var).item() >= -1e-10
+
+
+class TestSamplingProperties:
+    @st.composite
+    @staticmethod
+    def candidates_case(draw):
+        n_users = draw(st.integers(min_value=2, max_value=8))
+        n_items = draw(st.integers(min_value=2, max_value=8))
+        n_edges = draw(st.integers(min_value=1, max_value=20))
+        seed = draw(st.integers(min_value=0, max_value=10 ** 6))
+        rng = np.random.default_rng(seed)
+        users = rng.integers(0, n_users, size=n_edges)
+        items = rng.integers(0, n_items, size=n_edges) + n_users
+        observed = rng.random(n_edges) < 0.8
+        cands = CandidateEdges(user_nodes=users, item_nodes=items,
+                               observed=observed)
+        return cands, n_users + n_items, seed
+
+    @settings(max_examples=25, deadline=None)
+    @given(candidates_case(),
+           st.floats(min_value=0.0, max_value=0.95))
+    def test_sampled_view_never_empty_and_weights_valid(self, case,
+                                                        threshold):
+        cands, num_nodes, seed = case
+        rng = np.random.default_rng(seed)
+        logits = Tensor(rng.normal(size=len(cands)))
+        view = sample_view(logits, cands, num_nodes, rng,
+                           threshold=threshold)
+        assert view.keep_mask.sum() >= 1
+        assert np.isfinite(view.weights.data).all()
+        assert (view.weights.data >= 0).all()
+        # symmetric COO: both directions present, equal weights
+        half = len(view.rows) // 2
+        np.testing.assert_array_equal(view.rows[:half], view.cols[half:])
+        np.testing.assert_allclose(view.weights.data[:half],
+                                   view.weights.data[half:])

@@ -1,0 +1,100 @@
+"""Tests for checkpointing and history export."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.train import (BestCheckpoint, ModelConfig, TrainConfig,
+                         fit_model, history_to_csv, history_to_json,
+                         load_state, save_state)
+
+
+@pytest.fixture(scope="module")
+def trained(small_dataset_module):
+    dataset = small_dataset_module
+    model = build_model("lightgcn", dataset,
+                        ModelConfig(embedding_dim=8, num_layers=2), seed=0)
+    result = fit_model(model, dataset,
+                       TrainConfig(epochs=4, batch_size=64, eval_every=2),
+                       seed=0)
+    return dataset, model, result
+
+
+@pytest.fixture(scope="module")
+def small_dataset_module():
+    from repro.data import tiny_dataset
+    return tiny_dataset(seed=111)
+
+
+class TestStatePersistence:
+    def test_roundtrip(self, trained, tmp_path):
+        _, model, _ = trained
+        path = str(tmp_path / "state.npz")
+        save_state(model.state_dict(), path)
+        loaded = load_state(path)
+        for name, value in model.state_dict().items():
+            np.testing.assert_allclose(loaded[name], value)
+
+    def test_load_into_fresh_model(self, trained, tmp_path,
+                                   small_dataset_module):
+        _, model, _ = trained
+        path = str(tmp_path / "state.npz")
+        save_state(model.state_dict(), path)
+        fresh = build_model("lightgcn", small_dataset_module,
+                            ModelConfig(embedding_dim=8, num_layers=2),
+                            seed=99)
+        fresh.load_state_dict(load_state(path))
+        np.testing.assert_allclose(fresh.score_all_users(),
+                                   model.score_all_users())
+
+
+class TestBestCheckpoint:
+    def test_tracks_best(self, trained):
+        _, model, _ = trained
+        ckpt = BestCheckpoint(metric="recall@20")
+        assert ckpt.update(model, {"recall@20": 0.5})
+        assert not ckpt.update(model, {"recall@20": 0.4})
+        assert ckpt.update(model, {"recall@20": 0.6})
+        assert ckpt.best_value == 0.6
+
+    def test_restore(self, trained, small_dataset_module):
+        _, model, _ = trained
+        ckpt = BestCheckpoint()
+        ckpt.update(model, {"recall@20": 1.0})
+        before = model.score_all_users().copy()
+        model.user_emb.weight.data += 1.0  # corrupt
+        ckpt.restore(model)
+        np.testing.assert_allclose(model.score_all_users(), before)
+
+    def test_restore_without_update_raises(self, trained):
+        _, model, _ = trained
+        with pytest.raises(RuntimeError):
+            BestCheckpoint().restore(model)
+
+    def test_missing_metric_ignored(self, trained):
+        _, model, _ = trained
+        ckpt = BestCheckpoint(metric="recall@20")
+        assert not ckpt.update(model, {"ndcg@20": 0.9})
+
+
+class TestHistoryExport:
+    def test_csv(self, trained, tmp_path):
+        _, _, result = trained
+        path = str(tmp_path / "history.csv")
+        history_to_csv(result, path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][:3] == ["epoch", "loss", "wall_time"]
+        assert len(rows) == len(result.history) + 1
+
+    def test_json(self, trained, tmp_path):
+        _, _, result = trained
+        path = str(tmp_path / "history.json")
+        history_to_json(result, path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["best_epoch"] == result.best_epoch
+        assert len(payload["history"]) == len(result.history)

@@ -1,0 +1,82 @@
+"""Tests for the shared utilities (registry, rng, timer)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import Registry, Timer, seeded_rng, spawn_rngs
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        reg = Registry("thing")
+
+        @reg.register("a")
+        def thing_a():
+            return "a"
+
+        assert reg.get("a") is thing_a
+        assert "a" in reg
+        assert reg.names() == ["a"]
+
+    def test_duplicate_raises(self):
+        reg = Registry("thing")
+        reg.register("x")(object)
+        with pytest.raises(KeyError):
+            reg.register("x")(object)
+
+    def test_unknown_raises_with_available(self):
+        reg = Registry("thing")
+        reg.register("known")(object)
+        with pytest.raises(KeyError, match="known"):
+            reg.get("unknown")
+
+    def test_iteration_sorted(self):
+        reg = Registry("thing")
+        for name in ("c", "a", "b"):
+            reg.register(name)(object)
+        assert list(reg) == ["a", "b", "c"]
+
+
+class TestRng:
+    def test_seeded_deterministic(self):
+        a = seeded_rng(42).random(5)
+        b = seeded_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_independent(self):
+        rngs = spawn_rngs(7, 3)
+        assert len(rngs) == 3
+        draws = [rng.random(4) for rng in rngs]
+        # children differ from each other
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_spawn_deterministic(self):
+        a = spawn_rngs(7, 2)[0].random(3)
+        b = spawn_rngs(7, 2)[0].random(3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestTimer:
+    def test_accumulates(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        first = timer.total
+        with timer:
+            time.sleep(0.01)
+        assert timer.total > first >= 0.01
+
+    def test_minutes(self):
+        timer = Timer()
+        timer.total = 120.0
+        assert timer.minutes == 2.0
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.total == 0.0
