@@ -1,6 +1,36 @@
-"""Make the shared harness importable from every bench module."""
+"""Make the shared harness importable from every bench module.
+
+Also marks everything collected under ``benchmarks/`` with the
+``benchmark`` marker (tier-1 keeps these deselected via ``testpaths`` in
+``pytest.ini``; run ``pytest benchmarks`` to opt in) and writes the
+``BENCH_hotpath.json`` perf artifact at session end.
+"""
 
 import os
 import sys
 
+import pytest
+
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+_BENCH_DIR = os.path.abspath(os.path.dirname(__file__))
+
+
+def pytest_collection_modifyitems(items):
+    # this hook sees the whole session's items when tests/ and benchmarks/
+    # are collected together; only tag the ones that live here
+    for item in items:
+        if os.path.abspath(str(item.path)).startswith(_BENCH_DIR + os.sep):
+            item.add_marker(pytest.mark.benchmark)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if exitstatus != 0:
+        return  # don't fold timings from failed/interrupted runs into
+                # the trajectory artifact
+    import harness
+
+    path = harness.write_hotpath_artifact()
+    if path is not None:
+        print(f"\nwrote hot-path perf artifact: {path}")

@@ -10,16 +10,53 @@ bench prints the same rows/series the paper reports, so the bench output
 Budgets are sized for one CPU core: ~60 training epochs per model on
 ~400-node datasets.  Absolute metric values therefore differ from the
 paper; EXPERIMENTS.md records paper-vs-measured for every experiment.
+
+Perf artifact: ``BENCH_hotpath.json``
+-------------------------------------
+Every run that trains through :func:`run_model` also appends a hot-path
+timing record, and the bench session writes them to
+``benchmarks/BENCH_hotpath.json`` (override the directory with the
+``BENCH_ARTIFACT_DIR`` environment variable).  Schema (version
+``bench-hotpath/v1``)::
+
+    {
+      "schema": "bench-hotpath/v1",
+      "dtype": "float64",               # autograd default dtype in effect
+      "records": [
+        {
+          "model": "lightgcn",          # registry name of the model
+          "dataset": "gowalla",         # dataset profile name
+          "dtype": "float32",           # dtype the run trained in
+          "config": "1a2b3c4d5e",       # digest of the model/train config
+                                        # (distinguishes hparam-sweep rows)
+          "epochs": 60,                 # epochs actually trained
+          "train_seconds": 1.23,        # total wall-clock of training
+          "epoch_seconds_mean": 0.02,   # train_seconds / epochs
+          "sampler_seconds": 0.04,      # wall-clock inside BPR sampling
+          "spmm_seconds": 0.56          # wall-clock inside sparse matmuls
+        }, ...
+      ],
+      "extras": {...}                   # free-form, e.g. the sampler
+                                        # microbenchmark speedup numbers
+    }
+
+The vectorized-sampler / cached-spmm speedup itself is measured by
+``benchmarks/test_hotpath.py``, which emits the artifact directly.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.autograd import (enable_spmm_profiling, get_default_dtype,
+                            spmm_profile)
 from repro.core import make_graphaug_variant
 from repro.data import InteractionDataset, load_profile
 from repro.eval import mean_average_distance
@@ -41,6 +78,80 @@ BENCH_TRAIN_CONFIG = TrainConfig(epochs=60, batch_size=512, eval_every=20)
 
 _dataset_cache: Dict[Tuple[str, int], InteractionDataset] = {}
 _run_cache: Dict[tuple, "RunResult"] = {}
+
+#: accumulated BENCH_hotpath.json records for this bench session
+_hotpath_records: list = []
+_hotpath_extras: dict = {}
+
+
+def _config_digest(model_config, train_config, extra: tuple) -> str:
+    """Short stable id of a run configuration (for the artifact merge key)."""
+    text = f"{model_config!r}|{train_config!r}|{extra!r}"
+    return hashlib.sha1(text.encode()).hexdigest()[:10]
+
+
+def record_hotpath(model_name: str, dataset_name: str, fit: FitResult,
+                   config: str = "default") -> None:
+    """Append one hot-path timing record (see module docstring schema)."""
+    epochs = len(fit.history)
+    _hotpath_records.append({
+        "model": model_name,
+        "dataset": dataset_name,
+        "dtype": np.dtype(get_default_dtype()).name,
+        "config": config,
+        "epochs": epochs,
+        "train_seconds": fit.train_seconds,
+        "epoch_seconds_mean": fit.train_seconds / max(1, epochs),
+        "sampler_seconds": fit.sampler_seconds,
+        "spmm_seconds": fit.spmm_seconds,
+    })
+
+
+def record_hotpath_extra(key: str, value) -> None:
+    """Attach a free-form entry to the artifact's ``extras`` section."""
+    _hotpath_extras[key] = value
+
+
+def write_hotpath_artifact(path: Optional[str] = None) -> Optional[str]:
+    """Write ``BENCH_hotpath.json``; returns the path (None if no records).
+
+    A partial bench run merges into an existing artifact instead of
+    clobbering it: records from this session replace same
+    ``(model, dataset, dtype, config)`` rows, other rows and extras are
+    kept.
+    """
+    if not _hotpath_records and not _hotpath_extras:
+        return None
+    if path is None:
+        out_dir = os.environ.get("BENCH_ARTIFACT_DIR",
+                                 os.path.dirname(os.path.abspath(__file__)))
+        path = os.path.join(out_dir, "BENCH_hotpath.json")
+    records = list(_hotpath_records)
+    extras = dict(_hotpath_extras)
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                existing = json.load(fh)
+        except (OSError, ValueError):
+            existing = {}
+        if existing.get("schema") == "bench-hotpath/v1":
+            fresh = {(r.get("model"), r.get("dataset"), r.get("dtype"),
+                      r.get("config")) for r in records}
+            kept = [r for r in existing.get("records", ())
+                    if (r.get("model"), r.get("dataset"), r.get("dtype"),
+                        r.get("config")) not in fresh]
+            records = kept + records
+            extras = {**existing.get("extras", {}), **extras}
+    payload = {
+        "schema": "bench-hotpath/v1",
+        "dtype": np.dtype(get_default_dtype()).name,
+        "records": records,
+        "extras": extras,
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 @dataclass
@@ -81,7 +192,8 @@ def run_model(model_name: str, dataset_name: str, seed: int = 0,
     model_config = model_config or BENCH_MODEL_CONFIG
     train_config = train_config or BENCH_TRAIN_CONFIG
     key = (model_name, dataset_name, seed, repr(model_config),
-           repr(train_config), cache_key_extra)
+           repr(train_config), np.dtype(get_default_dtype()).name,
+           cache_key_extra)
     if key in _run_cache:
         return _run_cache[key]
 
@@ -91,7 +203,15 @@ def run_model(model_name: str, dataset_name: str, seed: int = 0,
         model = builder(data, model_config, seed=seed)
     else:
         model = build_model(model_name, data, model_config, seed=seed)
-    fit = fit_model(model, data, train_config, seed=seed)
+    was_profiling = spmm_profile()["enabled"]
+    enable_spmm_profiling(True)
+    try:
+        fit = fit_model(model, data, train_config, seed=seed)
+    finally:
+        enable_spmm_profiling(was_profiling)
+    record_hotpath(model_name, dataset_name, fit,
+                   config=_config_digest(model_config, train_config,
+                                         cache_key_extra))
     result = RunResult(
         model_name=model_name, dataset_name=dataset_name,
         metrics=dict(fit.best_metrics), train_seconds=fit.train_seconds,

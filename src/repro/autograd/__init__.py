@@ -11,21 +11,28 @@ Public surface:
 * :func:`gradcheck` — finite-difference certification used by the tests.
 """
 
-from .tensor import (Tensor, as_tensor, concat, stack, where, zeros, ones,
-                     no_grad, is_grad_enabled, unbroadcast)
+from .tensor import (Tensor, as_tensor, cast_like, concat, stack, where,
+                     zeros, ones, no_grad, is_grad_enabled, unbroadcast,
+                     default_dtype, get_default_dtype, set_default_dtype)
 from .module import Module, Parameter, Linear, MLP, Embedding, Sequential
 from .optim import SGD, Adam, AdamW, ExponentialLR, Optimizer
-from .sparse import spmm, weighted_spmm, coo_from_scipy
+from .sparse import (spmm, weighted_spmm, coo_from_scipy,
+                     clear_sparse_caches, enable_spmm_profiling,
+                     reset_spmm_profile, spmm_profile)
 from .gradcheck import gradcheck, numerical_gradient
 from . import functional
 from . import init
 
 __all__ = [
-    "Tensor", "as_tensor", "concat", "stack", "where", "zeros", "ones",
+    "Tensor", "as_tensor", "cast_like", "concat", "stack", "where",
+    "zeros", "ones",
     "no_grad", "is_grad_enabled", "unbroadcast",
+    "default_dtype", "get_default_dtype", "set_default_dtype",
     "Module", "Parameter", "Linear", "MLP", "Embedding", "Sequential",
     "SGD", "Adam", "AdamW", "ExponentialLR", "Optimizer",
     "spmm", "weighted_spmm", "coo_from_scipy",
+    "clear_sparse_caches", "enable_spmm_profiling", "reset_spmm_profile",
+    "spmm_profile",
     "gradcheck", "numerical_gradient",
     "functional", "init",
 ]

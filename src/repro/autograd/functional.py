@@ -13,7 +13,7 @@ from typing import Optional
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor, concat
+from .tensor import Tensor, as_tensor, cast_like, concat
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -120,7 +120,7 @@ def mse_loss(pred: Tensor, target: Tensor) -> Tensor:
 def binary_cross_entropy_with_logits(logits: Tensor,
                                      targets: np.ndarray) -> Tensor:
     """Stable BCE on raw logits with constant 0/1 targets."""
-    targets = np.asarray(targets, dtype=np.float64)
+    targets = cast_like(targets, logits)
     # max(x, 0) - x*t + log(1 + exp(-|x|))
     positive_part = logits.clamp(low=0.0)
     return (positive_part - logits * targets
@@ -144,7 +144,7 @@ def dropout(x: Tensor, rate: float, rng: np.random.Generator,
     if not training or rate <= 0.0:
         return x
     keep = 1.0 - rate
-    mask = (rng.random(x.shape) < keep) / keep
+    mask = cast_like((rng.random(x.shape) < keep) / keep, x)
     return x * mask
 
 
@@ -157,5 +157,5 @@ def gumbel_sigmoid(logits: Tensor, rng: np.random.Generator,
     Gumbel-softmax trick.  Differentiable w.r.t. ``logits``.
     """
     eps = rng.uniform(1e-10, 1.0 - 1e-10, size=logits.shape)
-    noise = np.log(eps) - np.log1p(-eps)
+    noise = cast_like(np.log(eps) - np.log1p(-eps), logits)
     return ((logits + noise) * (1.0 / temperature)).sigmoid()

@@ -42,8 +42,18 @@ def gradcheck(func: Callable[..., Tensor],
 
     Raises ``AssertionError`` with a diagnostic message on mismatch; returns
     ``True`` on success so it can be used inside ``assert gradcheck(...)``.
+
+    Finite differences at ``eps ~ 1e-6`` are meaningless in single
+    precision, so inputs must be float64 — build them under
+    ``default_dtype("float64")`` (the global default) even when the model
+    under test trains in float32.
     """
     for tensor in inputs:
+        if tensor.data.dtype != np.float64:
+            raise TypeError(
+                "gradcheck requires float64 inputs (got "
+                f"{tensor.data.dtype}); construct the inputs under "
+                "default_dtype('float64')")
         tensor.grad = None
     out = func(*inputs)
     if out.size != 1:

@@ -13,14 +13,23 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence
 import numpy as np
 
 from . import init as init_schemes
-from .tensor import Tensor, concat
+from .tensor import Tensor, concat, get_default_dtype
 
 
 class Parameter(Tensor):
-    """A Tensor that is a trainable leaf of a :class:`Module`."""
+    """A Tensor that is a trainable leaf of a :class:`Module`.
+
+    Unlike plain tensors, parameters always *copy* their input into the
+    current default dtype: a model built inside ``default_dtype("float32")``
+    trains in single precision even though numpy initializers return
+    float64 arrays, and the optimizers' in-place updates can never
+    mutate an array the caller still owns.
+    """
 
     def __init__(self, data):
-        super().__init__(data, requires_grad=True)
+        super().__init__(np.array(data, dtype=get_default_dtype(),
+                                  copy=True),
+                         requires_grad=True)
 
 
 class Module:
@@ -90,7 +99,7 @@ class Module:
             if param.data.shape != state[name].shape:
                 raise ValueError(f"shape mismatch for {name}: "
                                  f"{param.data.shape} vs {state[name].shape}")
-            param.data = state[name].astype(np.float64).copy()
+            param.data = state[name].astype(param.data.dtype)
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)

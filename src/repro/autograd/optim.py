@@ -52,10 +52,14 @@ class SGD(Optimizer):
                 grad = grad + self.weight_decay * param.data
             if self.momentum:
                 vel = self._velocity.get(id(param))
-                vel = grad if vel is None else self.momentum * vel + grad
+                if vel is None:
+                    vel = np.array(grad, dtype=param.data.dtype, copy=True)
+                else:
+                    vel *= self.momentum
+                    vel += grad
                 self._velocity[id(param)] = vel
                 grad = vel
-            param.data = param.data - self.lr * grad
+            param.data -= self.lr * grad
 
 
 class Adam(Optimizer):
@@ -85,15 +89,22 @@ class Adam(Optimizer):
             key = id(param)
             m = self._m.get(key)
             v = self._v.get(key)
-            m = grad * (1 - self.beta1) if m is None else \
-                self.beta1 * m + (1 - self.beta1) * grad
-            v = (grad ** 2) * (1 - self.beta2) if v is None else \
-                self.beta2 * v + (1 - self.beta2) * grad ** 2
-            self._m[key], self._v[key] = m, v
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat)
-                                                         + self.eps)
+            # moment buffers are updated in place (one pair per parameter
+            # for the whole run, not one allocation per step)
+            if m is None:
+                m = np.asarray(grad * (1 - self.beta1),
+                               dtype=param.data.dtype)
+                v = np.asarray((grad ** 2) * (1 - self.beta2),
+                               dtype=param.data.dtype)
+                self._m[key], self._v[key] = m, v
+            else:
+                m *= self.beta1
+                m += (1 - self.beta1) * grad
+                v *= self.beta2
+                v += (1 - self.beta2) * np.square(grad)
+            denom = np.sqrt(v / bias2)
+            denom += self.eps
+            param.data -= (self.lr / bias1) * m / denom
 
 
 class AdamW(Adam):
@@ -103,8 +114,7 @@ class AdamW(Adam):
         if self.weight_decay:
             for param in self.params:
                 if param.grad is not None:
-                    param.data = param.data * (1.0 - self.lr
-                                               * self.weight_decay)
+                    param.data *= (1.0 - self.lr * self.weight_decay)
         decay, self.weight_decay = self.weight_decay, 0.0
         try:
             super().step()

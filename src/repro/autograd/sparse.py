@@ -12,34 +12,188 @@ Two primitives cover everything the graph encoders need:
   weights.  This is what makes the paper's learnable augmentor trainable
   end-to-end: edge keep-probabilities parameterize the augmented adjacency
   and receive gradients through message passing.
+
+Operand caching
+---------------
+Both primitives sit on the training hot path, called once per layer per
+batch per backward pass, so repeated format conversions dominate epoch
+time if done naively:
+
+* :func:`spmm` caches ``(CSR, CSR^T)`` per adjacency object (keyed by
+  identity with weakref eviction, one variant per dtype).  The adjacency
+  is assumed constant — mutating a matrix in place after its first
+  ``spmm`` call requires :func:`clear_sparse_caches`.
+* :func:`weighted_spmm` caches the *structure* (CSR index arrays and the
+  COO→CSR permutation, forward and transposed) per ``(rows, cols, shape)``
+  pattern, so each call only gathers the current values into the cached
+  layout instead of re-running the full COO→CSR conversion.  Patterns with
+  duplicate coordinates fall back to the exact scipy conversion (which
+  sums duplicates).
+
+Wall-clock spent inside the sparse matmuls can be profiled with
+:func:`enable_spmm_profiling` / :func:`spmm_profile`; the bench harness
+uses this for the ``BENCH_hotpath.json`` artifact.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+import time
+import weakref
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
 from .tensor import Tensor, as_tensor
 
+# --------------------------------------------------------------------- #
+# profiling
+# --------------------------------------------------------------------- #
+
+_profile = {"enabled": False, "seconds": 0.0, "calls": 0}
+
+
+def enable_spmm_profiling(enabled: bool = True) -> None:
+    """Toggle wall-clock accounting of every sparse matmul (fwd + bwd)."""
+    _profile["enabled"] = bool(enabled)
+
+
+def reset_spmm_profile() -> None:
+    """Zero the accumulated spmm counters."""
+    _profile["seconds"] = 0.0
+    _profile["calls"] = 0
+
+
+def spmm_profile() -> Dict[str, float]:
+    """Return ``{"seconds", "calls", "enabled"}`` of the spmm counters."""
+    return dict(_profile)
+
+
+def _matmul(csr, arr: np.ndarray) -> np.ndarray:
+    if not _profile["enabled"]:
+        return csr @ arr
+    start = time.perf_counter()
+    out = csr @ arr
+    _profile["seconds"] += time.perf_counter() - start
+    _profile["calls"] += 1
+    return out
+
+
+# --------------------------------------------------------------------- #
+# constant-adjacency cache (spmm)
+# --------------------------------------------------------------------- #
+
+# id(matrix) -> (weakref(matrix), {dtype: (csr, csr_T)})
+_adjacency_cache: Dict[int, tuple] = {}
+
+# (id(rows), id(cols), shape) -> pattern entry dict
+_pattern_cache: Dict[tuple, dict] = {}
+
+
+def clear_sparse_caches() -> None:
+    """Drop every cached sparse operand (after in-place matrix mutation)."""
+    _adjacency_cache.clear()
+    _pattern_cache.clear()
+
+
+def _adjacency_entry(matrix) -> tuple:
+    key = id(matrix)
+    entry = _adjacency_cache.get(key)
+    if entry is not None and entry[0]() is matrix:
+        return entry
+
+    def _evict(ref, _key=key):
+        current = _adjacency_cache.get(_key)
+        if current is not None and current[0] is ref:
+            del _adjacency_cache[_key]
+
+    entry = (weakref.ref(matrix, _evict), {})
+    _adjacency_cache[key] = entry
+    return entry
+
+
+def _cached_csr_pair(matrix, dtype) -> Tuple[sp.csr_matrix, sp.csr_matrix]:
+    """CSR and transposed-CSR views of ``matrix`` in ``dtype``, cached."""
+    dtype = np.dtype(dtype)
+    variants = _adjacency_entry(matrix)[1]
+    pair = variants.get(dtype)
+    if pair is None:
+        csr = matrix.tocsr()
+        if csr is matrix:
+            # re-wrap so the cache holds no strong reference to the key
+            # object (otherwise the weakref eviction could never fire)
+            csr = sp.csr_matrix((csr.data, csr.indices, csr.indptr),
+                                shape=csr.shape, copy=False)
+        csr = csr.astype(dtype, copy=False)
+        pair = (csr, csr.T.tocsr())
+        variants[dtype] = pair
+    return pair
+
 
 def spmm(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
     """Multiply a constant sparse ``matrix`` by a dense tensor.
 
-    Backward: ``d dense = matrix.T @ grad``.
+    Backward: ``d dense = matrix.T @ grad``.  The CSR form and its
+    transpose are cached per adjacency and reused across every batch and
+    backward pass.
     """
     dense = as_tensor(dense)
-    csr = matrix.tocsr()
-    csr_t = None
+    csr, csr_t = _cached_csr_pair(matrix, dense.data.dtype)
 
     def backward(g: np.ndarray) -> None:
-        nonlocal csr_t
-        if csr_t is None:
-            csr_t = csr.T.tocsr()
-        dense._accumulate(csr_t @ g)
+        dense._accumulate(_matmul(csr_t, g))
 
-    return Tensor._make(csr @ dense.data, (dense,), backward, "spmm")
+    return Tensor._make(_matmul(csr, dense.data), (dense,), backward, "spmm")
+
+
+# --------------------------------------------------------------------- #
+# fixed-pattern cache (weighted_spmm)
+# --------------------------------------------------------------------- #
+
+def _build_pattern(rows: np.ndarray, cols: np.ndarray,
+                   shape: Tuple[int, int]) -> Optional[dict]:
+    """Derive the CSR layout of a COO pattern (or None when duplicated).
+
+    Tagging trick: convert a matrix whose values are ``1..n`` through
+    scipy's own COO→CSR path; the converted ``data`` then *is* the
+    permutation from input order to canonical CSR slots, and ``nnz < n``
+    detects duplicate coordinates (scipy sums them).
+    """
+    n = rows.shape[0]
+    tags = np.arange(1, n + 1, dtype=np.float64)
+    fwd = sp.csr_matrix((tags, (rows, cols)), shape=shape)
+    if fwd.nnz != n:
+        return None
+    bwd = fwd.T.tocsr()
+    return {
+        "fwd_order": fwd.data.astype(np.int64) - 1,
+        "fwd_indices": fwd.indices, "fwd_indptr": fwd.indptr,
+        "bwd_order": bwd.data.astype(np.int64) - 1,
+        "bwd_indices": bwd.indices, "bwd_indptr": bwd.indptr,
+    }
+
+
+def _cached_pattern(rows: np.ndarray, cols: np.ndarray,
+                    shape: Tuple[int, int]) -> Optional[dict]:
+    key = (id(rows), id(cols), shape)
+    entry = _pattern_cache.get(key)
+    if (entry is not None and entry["rows_ref"]() is rows
+            and entry["cols_ref"]() is cols):
+        return entry["pattern"]
+
+    def _evict(ref, _key=key):
+        current = _pattern_cache.get(_key)
+        if current is not None and (current["rows_ref"] is ref
+                                    or current["cols_ref"] is ref):
+            del _pattern_cache[_key]
+
+    pattern = _build_pattern(rows, cols, shape)
+    _pattern_cache[key] = {
+        "rows_ref": weakref.ref(rows, _evict),
+        "cols_ref": weakref.ref(cols, _evict),
+        "pattern": pattern,
+    }
+    return pattern
 
 
 def weighted_spmm(rows: np.ndarray,
@@ -69,18 +223,32 @@ def weighted_spmm(rows: np.ndarray,
     if values.data.ndim != 1 or values.data.shape[0] != rows.shape[0]:
         raise ValueError("values must be 1-D with one entry per coordinate")
 
-    csr = sp.csr_matrix((values.data, (rows, cols)), shape=shape)
+    pattern = _cached_pattern(rows, cols, shape)
+    vals = values.data
+    if pattern is None:  # duplicate coordinates: exact scipy conversion
+        csr = sp.csr_matrix((vals, (rows, cols)), shape=shape)
+    else:
+        csr = sp.csr_matrix((vals[pattern["fwd_order"]],
+                             pattern["fwd_indices"], pattern["fwd_indptr"]),
+                            shape=shape, copy=False)
     dense_data = dense.data
 
     def backward(g: np.ndarray) -> None:
         if dense.requires_grad:
-            dense._accumulate(csr.T @ g)
+            if pattern is None:
+                csr_t = csr.T.tocsr()
+            else:
+                csr_t = sp.csr_matrix(
+                    (vals[pattern["bwd_order"]],
+                     pattern["bwd_indices"], pattern["bwd_indptr"]),
+                    shape=(shape[1], shape[0]), copy=False)
+            dense._accumulate(_matmul(csr_t, g))
         if values.requires_grad:
             # d value[e] = <g[row_e], X[col_e]>
             grad_vals = np.einsum("ed,ed->e", g[rows], dense_data[cols])
             values._accumulate(grad_vals)
 
-    return Tensor._make(csr @ dense_data, (values, dense), backward,
+    return Tensor._make(_matmul(csr, dense_data), (values, dense), backward,
                         "weighted_spmm")
 
 

@@ -9,10 +9,13 @@ row gather / scatter-add, concatenation and stable softmax primitives).
 
 Design notes
 ------------
-* Values are stored as ``numpy.ndarray`` of ``float64``.  The datasets in this
-  reproduction are small (hundreds of nodes), so we favour the numerical
-  headroom of double precision, which also makes finite-difference gradient
-  checking tight.
+* Values are stored as ``numpy.ndarray`` of a configurable float dtype
+  (:func:`set_default_dtype` / the :class:`default_dtype` context manager).
+  The default is ``float64``: the datasets in this reproduction are small
+  (hundreds of nodes), so we favour the numerical headroom of double
+  precision, which also makes finite-difference gradient checking tight.
+  Training throughput workloads opt into ``float32``, which halves memory
+  traffic through the spmm/embedding hot path.
 * The graph is dynamic (define-by-run).  Each ``Tensor`` produced by an
   operation keeps references to its parents and a backward closure; calling
   :meth:`Tensor.backward` topologically sorts the tape and accumulates
@@ -31,6 +34,46 @@ Scalar = Union[int, float]
 ArrayLike = Union[Scalar, Sequence, np.ndarray, "Tensor"]
 
 _grad_enabled = True
+
+_default_dtype = np.float64
+_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def get_default_dtype() -> type:
+    """Return the scalar type new tensors are created with."""
+    return _default_dtype
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the global tensor dtype: ``float32`` or ``float64``.
+
+    float64 (the default) keeps finite-difference gradient checking tight;
+    float32 halves memory traffic on the training hot path.  Tensors that
+    are already float32/float64 keep their dtype — the default only governs
+    coercion of non-float inputs and fresh allocations.
+    """
+    global _default_dtype
+    resolved = np.dtype(dtype)
+    if resolved not in _FLOAT_DTYPES:
+        raise ValueError(
+            f"default dtype must be float32 or float64, got {resolved}")
+    _default_dtype = resolved.type
+
+
+class default_dtype:
+    """Context manager scoping :func:`set_default_dtype` to a block."""
+
+    def __init__(self, dtype):
+        self._dtype = dtype
+
+    def __enter__(self):
+        self._prev = _default_dtype
+        set_default_dtype(self._dtype)
+        return self
+
+    def __exit__(self, *exc):
+        set_default_dtype(self._prev)
+        return False
 
 
 class no_grad:
@@ -75,14 +118,43 @@ def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 def _as_array(value: ArrayLike) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
-    return np.asarray(value, dtype=np.float64)
+    arr = np.asarray(value)
+    if arr.dtype in _FLOAT_DTYPES:
+        return arr
+    return arr.astype(_default_dtype)
 
 
 def as_tensor(value: ArrayLike) -> "Tensor":
     """Coerce ``value`` to a :class:`Tensor` (no copy if already one)."""
     if isinstance(value, Tensor):
         return value
-    return Tensor(np.asarray(value, dtype=np.float64))
+    return Tensor(value)
+
+
+def cast_like(array: ArrayLike, ref: "Tensor") -> np.ndarray:
+    """Cast a constant helper array (mask, noise, targets) to ``ref``'s dtype.
+
+    The single entry point for mixing rng-generated float64 arrays into a
+    tape: casting at the boundary keeps a float32 graph float32 instead of
+    silently promoting every downstream op.  No copy when dtypes match.
+    """
+    return np.asarray(array).astype(ref.data.dtype, copy=False)
+
+
+def _operand(value: ArrayLike, dtype) -> "Tensor":
+    """Coerce a binary-op operand, adopting ``dtype`` for scalars.
+
+    Under NEP 50 a 0-d float64 array is *not* value-cast, so wrapping a
+    Python scalar as float64 would silently promote every float32
+    expression like ``x * 0.5`` back to float64 and defeat the float32
+    hot path.  Scalar operands therefore take the peer tensor's dtype.
+    """
+    if isinstance(value, Tensor):
+        return value
+    arr = np.asarray(value)
+    if arr.ndim == 0 and arr.dtype.kind in "fiub" and arr.dtype != dtype:
+        arr = arr.astype(dtype)
+    return Tensor(arr)
 
 
 class Tensor:
@@ -91,7 +163,9 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything ``numpy.asarray`` accepts; stored as ``float64``.
+        Anything ``numpy.asarray`` accepts; float32/float64 arrays keep
+        their dtype, everything else is coerced to the default dtype
+        (see :func:`set_default_dtype`).
     requires_grad:
         Whether gradients should be accumulated into :attr:`grad` for this
         tensor when :meth:`backward` is called downstream.
@@ -101,7 +175,10 @@ class Tensor:
     __array_priority__ = 100  # make numpy defer to our reflected operators
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False):
-        self.data = np.asarray(data, dtype=np.float64)
+        arr = np.asarray(data)
+        if arr.dtype not in _FLOAT_DTYPES:
+            arr = arr.astype(_default_dtype)
+        self.data = arr
         self.requires_grad = bool(requires_grad)
         self.grad: Optional[np.ndarray] = None
         self._parents: Tuple["Tensor", ...] = ()
@@ -170,7 +247,9 @@ class Tensor:
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
+            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+        elif self.grad.shape == np.shape(grad):
+            self.grad += grad  # in-place: reuse the accumulation buffer
         else:
             self.grad = self.grad + grad
 
@@ -188,7 +267,7 @@ class Tensor:
                 raise RuntimeError("grad must be provided for non-scalar "
                                    "outputs")
             grad = np.ones_like(self.data)
-        grad = np.asarray(_as_array(grad), dtype=np.float64)
+        grad = np.asarray(_as_array(grad), dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             grad = np.broadcast_to(grad, self.data.shape)
 
@@ -219,7 +298,7 @@ class Tensor:
     # elementwise arithmetic
     # ------------------------------------------------------------------ #
     def __add__(self, other: ArrayLike) -> "Tensor":
-        other = as_tensor(other)
+        other = _operand(other, self.data.dtype)
         a, b = self, other
 
         def backward(g: np.ndarray) -> None:
@@ -241,13 +320,13 @@ class Tensor:
         return Tensor._make(-a.data, (a,), backward, "neg")
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
-        return self + (-as_tensor(other))
+        return self + (-_operand(other, self.data.dtype))
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
-        return as_tensor(other) + (-self)
+        return _operand(other, self.data.dtype) + (-self)
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
-        other = as_tensor(other)
+        other = _operand(other, self.data.dtype)
         a, b = self, other
 
         def backward(g: np.ndarray) -> None:
@@ -261,7 +340,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
-        other = as_tensor(other)
+        other = _operand(other, self.data.dtype)
         a, b = self, other
 
         def backward(g: np.ndarray) -> None:
@@ -274,7 +353,7 @@ class Tensor:
         return Tensor._make(a.data / b.data, (a, b), backward, "div")
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
-        return as_tensor(other) / self
+        return _operand(other, self.data.dtype) / self
 
     def __pow__(self, exponent: Scalar) -> "Tensor":
         if not isinstance(exponent, (int, float)):
@@ -425,7 +504,10 @@ class Tensor:
             grad = g
             if axis is not None and not keepdims:
                 grad = np.expand_dims(grad, axis)
-            a._accumulate(np.broadcast_to(grad, a.shape).copy())
+            # read-only broadcast view is fine: _accumulate never mutates
+            # its argument (it copies on first touch, then adds into the
+            # existing buffer)
+            a._accumulate(np.broadcast_to(grad, a.shape))
 
         return Tensor._make(out_data, (a,), backward, "sum")
 
@@ -440,7 +522,7 @@ class Tensor:
             grad = g / count
             if axis is not None and not keepdims:
                 grad = np.expand_dims(grad, axis)
-            a._accumulate(np.broadcast_to(grad, a.shape).copy())
+            a._accumulate(np.broadcast_to(grad, a.shape))
 
         return Tensor._make(out_data, (a,), backward, "mean")
 
@@ -485,7 +567,7 @@ class Tensor:
     # linear algebra & shape ops
     # ------------------------------------------------------------------ #
     def __matmul__(self, other: ArrayLike) -> "Tensor":
-        other = as_tensor(other)
+        other = _operand(other, self.data.dtype)
         a, b = self, other
 
         def backward(g: np.ndarray) -> None:
@@ -526,15 +608,33 @@ class Tensor:
     def take_rows(self, indices: np.ndarray) -> "Tensor":
         """Gather rows (axis 0); backward scatter-adds into the source.
 
-        This is the embedding-lookup primitive: repeated indices accumulate
-        gradient correctly via ``np.add.at``.
+        This is the embedding-lookup primitive: repeated indices must
+        accumulate gradient.  The scatter uses ``np.bincount`` over
+        flattened (row, col) positions, which is several times faster than
+        ``np.add.at`` on the batch-gather shapes the trainer produces.
         """
         a = self
         idx = np.asarray(indices, dtype=np.int64)
+        if idx.size and (idx < 0).any():
+            # normalize python-style negative indices: the bincount scatter
+            # below needs non-negative flat positions
+            if (idx < -len(a.data)).any():
+                raise IndexError(
+                    f"index {int(idx.min())} is out of bounds for axis 0 "
+                    f"with size {len(a.data)}")
+            idx = np.where(idx < 0, idx + len(a.data), idx)
 
         def backward(g: np.ndarray) -> None:
-            grad = np.zeros_like(a.data)
-            np.add.at(grad, idx, g)
+            if a.data.ndim == 2 and idx.ndim == 1:
+                d = a.data.shape[1]
+                flat = (idx[:, None] * d + np.arange(d, dtype=np.int64))
+                acc = np.bincount(flat.ravel(), weights=g.ravel(),
+                                  minlength=a.data.size)
+                grad = acc.reshape(a.data.shape).astype(a.data.dtype,
+                                                        copy=False)
+            else:
+                grad = np.zeros_like(a.data)
+                np.add.at(grad, idx, g)
             a._accumulate(grad)
 
         return Tensor._make(a.data[idx], (a,), backward, "take_rows")
@@ -596,10 +696,12 @@ def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
 
 
 def zeros(*shape: int, requires_grad: bool = False) -> Tensor:
-    """All-zeros tensor of the given shape."""
-    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+    """All-zeros tensor of the given shape (default dtype)."""
+    return Tensor(np.zeros(shape, dtype=_default_dtype),
+                  requires_grad=requires_grad)
 
 
 def ones(*shape: int, requires_grad: bool = False) -> Tensor:
-    """All-ones tensor of the given shape."""
-    return Tensor(np.ones(shape), requires_grad=requires_grad)
+    """All-ones tensor of the given shape (default dtype)."""
+    return Tensor(np.ones(shape, dtype=_default_dtype),
+                  requires_grad=requires_grad)

@@ -19,7 +19,7 @@ from typing import Tuple
 import numpy as np
 import scipy.sparse as sp
 
-from ..autograd import MLP, Module, Tensor, concat
+from ..autograd import MLP, Module, Tensor, cast_like, concat
 from ..graph import InteractionGraph
 
 
@@ -101,9 +101,10 @@ class LearnableAugmentor(Module):
         substrate initializes with.
         """
         scale = float(embeddings.data.std()) or 1.0
-        noise = rng.normal(0.0, scale, size=embeddings.shape)
-        mask = (rng.random(embeddings.shape) < self.mask_keep)
-        mask = mask.astype(np.float64)
+        noise = cast_like(rng.normal(0.0, scale, size=embeddings.shape),
+                          embeddings)
+        mask = cast_like(rng.random(embeddings.shape) < self.mask_keep,
+                         embeddings)
         return (embeddings - noise) * mask + noise
 
     def edge_logits(self, node_embeddings: Tensor,

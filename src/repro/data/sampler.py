@@ -3,36 +3,121 @@
 The paper trains all models with the pairwise schema: triplets
 ``(u, v+, v-)`` with an observed positive and an unobserved negative
 (Sec III-D, Eq 15).
+
+Negative sampling is fully vectorized: every batch is drawn as whole
+numpy arrays and only the still-colliding subset is redrawn each
+rejection round.  Membership tests use a sorted array of encoded edges
+(``user * num_items + item``), so a batch test is one ``searchsorted``
+instead of ``batch_size`` Python-level probes.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterator, Tuple
 
 import numpy as np
 
 from ..graph import InteractionGraph
 
+#: whole-batch rejection rounds before falling back to explicit
+#: complement sampling (the seed code capped per-sample tries at 50)
+MAX_REJECTION_ROUNDS = 50
+
+
+def _ensure_sorted_indices(csr) -> None:
+    """Canonicalize CSR column order in place.
+
+    scipy does not guarantee ``indices`` are sorted within each row (e.g.
+    after transposes or hand-built constructors), and ``np.searchsorted``
+    on an unsorted row silently returns garbage — a true positive could
+    pass the rejection test and leak into the loss as a "negative".
+    """
+    if not csr.has_sorted_indices:
+        csr.sort_indices()
+
+
+def _edge_keys(graph: InteractionGraph) -> np.ndarray:
+    """Sorted int64 keys ``user * num_items + item`` of all observed edges."""
+    csr = graph.matrix
+    _ensure_sorted_indices(csr)
+    counts = np.diff(csr.indptr)
+    rows = np.repeat(np.arange(graph.num_users, dtype=np.int64), counts)
+    keys = rows * np.int64(graph.num_items) + csr.indices.astype(np.int64)
+    # row-major CSR traversal with sorted indices is already ascending
+    return keys
+
+
+def _membership(keys: np.ndarray, users: np.ndarray, items: np.ndarray,
+                num_items: int) -> np.ndarray:
+    """Vectorized ``(user, item) in edges`` test against sorted keys."""
+    queries = users.astype(np.int64) * np.int64(num_items) + items
+    idx = np.searchsorted(keys, queries)
+    hit = idx < len(keys)
+    out = np.zeros(len(queries), dtype=bool)
+    out[hit] = keys[idx[hit]] == queries[hit]
+    return out
+
+
+def _rejection_sample(keys: np.ndarray, users: np.ndarray, num_items: int,
+                      rng: np.random.Generator,
+                      max_rounds: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Whole-batch rejection sampling of one candidate item per slot.
+
+    Draws uniformly, then redraws only the still-colliding subset each
+    round.  Returns ``(draws, pending)`` where ``pending`` indexes the
+    slots that still collide after ``max_rounds`` (the caller decides the
+    saturation policy: explicit complement sampling, keep, or raise).
+    """
+    draws = rng.integers(0, num_items, size=len(users))
+    pending = np.flatnonzero(_membership(keys, users, draws, num_items))
+    rounds = 0
+    while pending.size and rounds < max_rounds:
+        redraw = rng.integers(0, num_items, size=pending.size)
+        draws[pending] = redraw
+        still = _membership(keys, users[pending], redraw, num_items)
+        pending = pending[still]
+        rounds += 1
+    return draws, pending
+
+
+def _complement_negatives(csr, user: int, num_items: int,
+                          size: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw uniformly from the explicit complement of one user's positives.
+
+    Returns an empty array when the user has interacted with every item
+    (no valid negative exists).
+    """
+    start, stop = csr.indptr[user], csr.indptr[user + 1]
+    complement = np.setdiff1d(np.arange(num_items, dtype=np.int64),
+                              csr.indices[start:stop].astype(np.int64),
+                              assume_unique=True)
+    if complement.size == 0:
+        return complement
+    return complement[rng.integers(0, complement.size, size=size)]
+
 
 class BPRSampler:
     """Uniform BPR triplet sampler over a training graph.
 
     Users are drawn proportionally to their interaction counts (equivalently:
-    a uniformly random observed edge supplies ``(u, v+)``), then a negative
-    is rejection-sampled uniformly from the items the user has not interacted
-    with.
+    a uniformly random observed edge supplies ``(u, v+)``), then negatives
+    are rejection-sampled uniformly — whole batches at a time — from the
+    items the user has not interacted with.
     """
 
     def __init__(self, graph: InteractionGraph, rng: np.random.Generator):
         self.graph = graph
         self.rng = rng
+        _ensure_sorted_indices(graph.matrix)
         self._rows, self._cols = graph.edges()
         if len(self._rows) == 0:
             raise ValueError("cannot sample from an empty graph")
-        # Per-user positive sets for O(1) negative rejection tests.
         csr = graph.matrix
         self._indptr = csr.indptr
         self._indices = csr.indices
+        self._keys = _edge_keys(graph)
+        self._warned_saturated = False
 
     def _is_positive(self, user: int, item: int) -> bool:
         start, stop = self._indptr[user:user + 2]
@@ -40,18 +125,33 @@ class BPRSampler:
         idx = np.searchsorted(pos, item)
         return idx < len(pos) and pos[idx] == item
 
+    def _sample_negatives(self, users: np.ndarray) -> np.ndarray:
+        """Whole-batch rejection sampling of one negative per user."""
+        num_items = self.graph.num_items
+        neg, pending = _rejection_sample(self._keys, users, num_items,
+                                         self.rng, MAX_REJECTION_ROUNDS)
+        for i in pending:
+            drawn = _complement_negatives(self.graph.matrix, int(users[i]),
+                                          num_items, 1, self.rng)
+            if drawn.size:
+                neg[i] = drawn[0]
+            elif not self._warned_saturated:
+                # no valid negative exists; keep the (positive) draw so an
+                # epoch cannot crash, but say so — unlike
+                # negative_sample_matrix, which raises for this condition
+                self._warned_saturated = True
+                warnings.warn(
+                    f"user {int(users[i])} has interacted with every item; "
+                    "emitting a positive as its BPR negative", RuntimeWarning)
+        return neg
+
     def sample(self, batch_size: int) -> Tuple[np.ndarray, np.ndarray,
                                                np.ndarray]:
         """Return arrays ``(users, pos_items, neg_items)`` of the batch."""
         edge_idx = self.rng.integers(0, len(self._rows), size=batch_size)
         users = self._rows[edge_idx]
         pos = self._cols[edge_idx]
-        neg = self.rng.integers(0, self.graph.num_items, size=batch_size)
-        for i in range(batch_size):
-            tries = 0
-            while self._is_positive(users[i], neg[i]) and tries < 50:
-                neg[i] = self.rng.integers(0, self.graph.num_items)
-                tries += 1
+        neg = self._sample_negatives(users)
         return users, pos, neg
 
     def epoch_batches(self, batch_size: int,
@@ -64,17 +164,33 @@ class BPRSampler:
 
 def negative_sample_matrix(graph: InteractionGraph, users: np.ndarray,
                            num_negatives: int,
-                           rng: np.random.Generator) -> np.ndarray:
-    """Sample ``num_negatives`` non-interacted items per user (with retry)."""
-    out = np.empty((len(users), num_negatives), dtype=np.int64)
-    csr = graph.matrix
-    for row, user in enumerate(users):
-        start, stop = csr.indptr[user:user + 2]
-        positives = set(csr.indices[start:stop].tolist())
-        drawn = []
-        while len(drawn) < num_negatives:
-            cand = int(rng.integers(0, graph.num_items))
-            if cand not in positives:
-                drawn.append(cand)
-        out[row] = drawn
-    return out
+                           rng: np.random.Generator,
+                           max_rounds: int = MAX_REJECTION_ROUNDS
+                           ) -> np.ndarray:
+    """Sample ``num_negatives`` non-interacted items per user.
+
+    All ``len(users) * num_negatives`` candidates are drawn and
+    rejection-tested as one flat batch; only colliding slots are redrawn.
+    After ``max_rounds`` rounds the remaining slots are filled by explicit
+    complement sampling, so a user who has interacted with nearly every
+    item cannot stall the loop.  A user with *no* non-interacted item at
+    all raises ``ValueError`` (the seed code looped forever).
+    """
+    users = np.asarray(users, dtype=np.int64)
+    num_items = graph.num_items
+    keys = _edge_keys(graph)
+    flat_users = np.repeat(users, num_negatives)
+    flat, pending = _rejection_sample(keys, flat_users, num_items, rng,
+                                      max_rounds)
+    if pending.size:
+        csr = graph.matrix
+        for user in np.unique(flat_users[pending]):
+            slots = pending[flat_users[pending] == user]
+            drawn = _complement_negatives(csr, int(user), num_items,
+                                          slots.size, rng)
+            if drawn.size == 0:
+                raise ValueError(
+                    f"user {int(user)} has interacted with every item; "
+                    "no negative sample exists")
+            flat[slots] = drawn
+    return flat.reshape(len(users), num_negatives)

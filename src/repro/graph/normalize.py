@@ -53,8 +53,10 @@ def normalized_edge_weights(rows: np.ndarray, cols: np.ndarray,
     """
     rows = np.asarray(rows, dtype=np.int64)
     cols = np.asarray(cols, dtype=np.int64)
-    weights = np.asarray(weights, dtype=np.float64)
-    degrees = np.zeros(num_nodes)
+    weights = np.asarray(weights)
+    if weights.dtype not in (np.float32, np.float64):
+        weights = weights.astype(np.float64)
+    degrees = np.zeros(num_nodes, dtype=weights.dtype)
     np.add.at(degrees, rows, weights)
     np.add.at(degrees, cols, weights)
     inv_sqrt = 1.0 / np.sqrt(np.maximum(degrees, eps))

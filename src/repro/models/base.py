@@ -118,6 +118,11 @@ class GraphRecommender(Recommender):
         self.adjacency = dataset.train.bipartite_adjacency()
         self.norm_adj = symmetric_normalize(self.adjacency,
                                             add_self_loops=add_self_loops)
+        # node index arrays are constant; build once instead of per batch
+        self._user_node_idx = np.arange(self.num_users, dtype=np.int64)
+        self._item_node_idx = np.arange(self.num_users,
+                                        self.num_users + self.num_items,
+                                        dtype=np.int64)
 
     def ego_embeddings(self) -> Tensor:
         """Concatenate user and item tables into one (I+J, d) tensor."""
@@ -126,10 +131,8 @@ class GraphRecommender(Recommender):
 
     def split_nodes(self, embeddings: Tensor) -> Tuple[Tensor, Tensor]:
         """Split a unified node tensor back into (users, items)."""
-        user_idx = np.arange(self.num_users)
-        item_idx = np.arange(self.num_users,
-                             self.num_users + self.num_items)
-        return embeddings.take_rows(user_idx), embeddings.take_rows(item_idx)
+        return (embeddings.take_rows(self._user_node_idx),
+                embeddings.take_rows(self._item_node_idx))
 
 
 def light_gcn_propagate(norm_adj: sp.csr_matrix, ego: Tensor,

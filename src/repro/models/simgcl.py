@@ -14,7 +14,7 @@ import numpy as np
 
 from .base import GraphRecommender, light_gcn_propagate
 from .registry import MODEL_REGISTRY
-from ..autograd import Tensor, spmm, functional as F
+from ..autograd import Tensor, cast_like, spmm, functional as F
 
 
 @MODEL_REGISTRY.register("simgcl")
@@ -40,7 +40,8 @@ class SimGCL(GraphRecommender):
             noise = self.aug_rng.uniform(0, 1, size=current.shape)
             noise /= np.maximum(
                 np.linalg.norm(noise, axis=1, keepdims=True), 1e-12)
-            signed = np.sign(current.data) * noise * self.noise_eps
+            signed = cast_like(np.sign(current.data) * noise
+                               * self.noise_eps, current)
             current = current + signed
             outputs.append(current)
         return sum(outputs[1:], outputs[0]) * (1.0 / len(outputs))

@@ -12,7 +12,7 @@ import numpy as np
 
 from .base import Recommender
 from .registry import MODEL_REGISTRY
-from ..autograd import Tensor, concat, functional as F
+from ..autograd import Tensor, cast_like, concat, functional as F
 from ..graph import feature_mask
 
 
@@ -35,8 +35,10 @@ class SLRec(Recommender):
         ssl = None
         for emb, count in ((u_emb, len(batch_users)),
                            (i_emb, len(batch_items))):
-            mask_a = feature_mask((count, dim), rate, self.aug_rng)
-            mask_b = feature_mask((count, dim), rate, self.aug_rng)
+            mask_a = cast_like(feature_mask((count, dim), rate,
+                                            self.aug_rng), emb)
+            mask_b = cast_like(feature_mask((count, dim), rate,
+                                            self.aug_rng), emb)
             term = F.decomposed_infonce_loss(
                 emb * mask_a, emb * mask_b, self.config.temperature,
                 self.config.negative_weight)

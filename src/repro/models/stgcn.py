@@ -12,7 +12,7 @@ import numpy as np
 
 from .base import GraphRecommender, light_gcn_propagate
 from .registry import MODEL_REGISTRY
-from ..autograd import Linear, Tensor, functional as F
+from ..autograd import Linear, Tensor, cast_like, functional as F
 
 
 @MODEL_REGISTRY.register("stgcn")
@@ -41,7 +41,7 @@ class STGCN(GraphRecommender):
         ego = self.ego_embeddings()
         num_nodes = ego.shape[0]
         mask = (self.aug_rng.random(num_nodes) >= self.mask_rate)
-        masked_ego = ego * mask[:, None].astype(np.float64)
+        masked_ego = ego * cast_like(mask[:, None], ego)
         final = light_gcn_propagate(self.norm_adj, masked_ego,
                                     self.config.num_layers)
         user_final, item_final = self.split_nodes(final)

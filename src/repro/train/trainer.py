@@ -16,7 +16,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from .config import TrainConfig
-from ..autograd import Adam, ExponentialLR
+from ..autograd import Adam, ExponentialLR, spmm_profile
 from ..data import BPRSampler, InteractionDataset
 from ..eval import evaluate_scores
 from ..utils import Timer
@@ -40,6 +40,9 @@ class FitResult:
     best_metrics: Dict[str, float]
     best_epoch: int
     train_seconds: float
+    sampler_seconds: float = 0.0          # wall-clock inside BPR sampling
+    spmm_seconds: float = 0.0             # wall-clock inside sparse matmuls
+                                          # (0 unless spmm profiling is on)
 
     def metric_curve(self, key: str) -> List[float]:
         """Per-evaluation series of one metric (for convergence plots)."""
@@ -89,6 +92,8 @@ class Trainer:
                              / cfg.batch_size))
         history: List[EpochRecord] = []
         timer = Timer()
+        sampler_timer = Timer()
+        spmm_seconds_at_start = spmm_profile()["seconds"]
         best_value = -np.inf
         best_metrics: Dict[str, float] = {}
         best_epoch = -1
@@ -99,8 +104,9 @@ class Trainer:
                 if hasattr(self.model, "on_epoch_start"):
                     self.model.on_epoch_start(epoch, self.rng)
                 epoch_loss = 0.0
-                for users, pos, neg in self.sampler.epoch_batches(
-                        cfg.batch_size, num_batches):
+                for _ in range(num_batches):
+                    with sampler_timer:
+                        users, pos, neg = self.sampler.sample(cfg.batch_size)
                     loss = self.model.loss(users, pos, neg)
                     self.optimizer.zero_grad()
                     loss.backward()
@@ -146,7 +152,10 @@ class Trainer:
                 metrics=cfg.eval_metrics)
             best_epoch = history[-1].epoch
         return FitResult(history=history, best_metrics=best_metrics,
-                         best_epoch=best_epoch, train_seconds=timer.total)
+                         best_epoch=best_epoch, train_seconds=timer.total,
+                         sampler_seconds=sampler_timer.total,
+                         spmm_seconds=(spmm_profile()["seconds"]
+                                       - spmm_seconds_at_start))
 
 
 def fit_model(model, dataset: InteractionDataset,

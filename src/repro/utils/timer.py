@@ -18,8 +18,11 @@ class Timer:
         return self
 
     def __exit__(self, *exc) -> bool:
-        self.total += time.perf_counter() - self._start
-        self._start = None
+        # reset() inside an open context clears _start; exiting must not
+        # blow up with a TypeError on None arithmetic
+        if self._start is not None:
+            self.total += time.perf_counter() - self._start
+            self._start = None
         return False
 
     @property

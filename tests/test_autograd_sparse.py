@@ -1,11 +1,16 @@
 """Tests for sparse matmul primitives (gradients to dense AND edge weights)."""
 
+import gc
+
 import numpy as np
 import pytest
 import scipy.sparse as sp
 
-from repro.autograd import (Tensor, coo_from_scipy, gradcheck, spmm,
+from repro.autograd import (Tensor, clear_sparse_caches, coo_from_scipy,
+                            enable_spmm_profiling, gradcheck,
+                            reset_spmm_profile, spmm, spmm_profile,
                             weighted_spmm)
+from repro.autograd import sparse as sparse_mod
 
 
 def dense_tensor(shape, seed=0):
@@ -91,6 +96,86 @@ class TestWeightedSpmm:
         with pytest.raises(ValueError):
             weighted_spmm(rows, cols, dense_tensor((5, 1)), shape,
                           dense_tensor((4, 2)))
+
+
+class TestOperandCaches:
+    def test_spmm_reuses_csr_and_transpose(self):
+        clear_sparse_caches()
+        matrix = sp.random(6, 6, density=0.4, random_state=11, format="csr")
+        x = dense_tensor((6, 2), 11)
+        first = sparse_mod._cached_csr_pair(matrix, x.data.dtype)
+        spmm(matrix, x).sum().backward()
+        second = sparse_mod._cached_csr_pair(matrix, x.data.dtype)
+        assert first[0] is second[0] and first[1] is second[1]
+
+    def test_spmm_cache_evicted_on_gc(self):
+        clear_sparse_caches()
+        matrix = sp.random(4, 4, density=0.5, random_state=12, format="csr")
+        spmm(matrix, dense_tensor((4, 2), 12))
+        assert len(sparse_mod._adjacency_cache) == 1
+        del matrix
+        gc.collect()
+        assert len(sparse_mod._adjacency_cache) == 0
+
+    def test_spmm_correct_after_matrix_identity_reuse(self):
+        """A fresh matrix must never see a stale entry, even on id reuse."""
+        clear_sparse_caches()
+        for seed in range(5):
+            matrix = sp.random(5, 5, density=0.5, random_state=seed,
+                               format="csr")
+            x = dense_tensor((5, 2), seed)
+            np.testing.assert_allclose(spmm(matrix, x).data,
+                                       matrix.toarray() @ x.data)
+
+    def test_weighted_spmm_pattern_cached_across_calls(self):
+        clear_sparse_caches()
+        rows = np.array([0, 1, 2, 2])
+        cols = np.array([1, 2, 0, 1])
+        x = dense_tensor((3, 2), 13)
+        for seed in (1, 2, 3):
+            w = dense_tensor((4,), seed)
+            out = weighted_spmm(rows, cols, w, (3, 3), x)
+            dense = np.zeros((3, 3))
+            dense[rows, cols] = w.data
+            np.testing.assert_allclose(out.data, dense @ x.data)
+        assert len(sparse_mod._pattern_cache) == 1
+
+    def test_weighted_spmm_duplicate_pattern_not_structural(self):
+        clear_sparse_caches()
+        rows = np.array([0, 0])
+        cols = np.array([1, 1])
+        weighted_spmm(rows, cols, dense_tensor((2,), 14), (2, 2),
+                      dense_tensor((2, 1), 14))
+        (key,) = sparse_mod._pattern_cache
+        assert sparse_mod._pattern_cache[key]["pattern"] is None
+
+    def test_clear_sparse_caches(self):
+        matrix = sp.random(3, 3, density=0.5, random_state=15, format="csr")
+        spmm(matrix, dense_tensor((3, 1), 15))
+        assert len(sparse_mod._adjacency_cache) >= 1
+        clear_sparse_caches()
+        assert len(sparse_mod._adjacency_cache) == 0
+        assert len(sparse_mod._pattern_cache) == 0
+
+
+class TestSpmmProfiling:
+    def test_counters_accumulate_when_enabled(self):
+        matrix = sp.random(4, 4, density=0.5, random_state=16, format="csr")
+        reset_spmm_profile()
+        enable_spmm_profiling(True)
+        try:
+            spmm(matrix, dense_tensor((4, 2), 16)).sum().backward()
+        finally:
+            enable_spmm_profiling(False)
+        profile = spmm_profile()
+        assert profile["calls"] == 2  # forward + backward
+        assert profile["seconds"] >= 0.0
+
+    def test_disabled_by_default(self):
+        matrix = sp.random(4, 4, density=0.5, random_state=17, format="csr")
+        reset_spmm_profile()
+        spmm(matrix, dense_tensor((4, 2), 17))
+        assert spmm_profile()["calls"] == 0
 
 
 class TestCooFromScipy:

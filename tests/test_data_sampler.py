@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+import scipy.sparse as sp
 
 from repro.data import BPRSampler, negative_sample_matrix, tiny_dataset
 from repro.graph import InteractionGraph
@@ -10,6 +11,28 @@ from repro.graph import InteractionGraph
 @pytest.fixture
 def graph():
     return tiny_dataset(seed=3).train
+
+
+def unsorted_csr_graph():
+    """A graph whose CSR column indices are deliberately NOT sorted.
+
+    scipy does not guarantee sorted indices; the seed sampler's
+    ``searchsorted`` rejection test silently passed true positives as
+    negatives on such input.
+    """
+    indptr = np.array([0, 3, 5, 8])
+    indices = np.array([4, 0, 2, 3, 1, 5, 2, 0])  # unsorted within rows
+    data = np.ones(len(indices))
+    matrix = sp.csr_matrix((data, indices, indptr), shape=(3, 6))
+    assert not matrix.has_sorted_indices
+    return InteractionGraph(matrix)
+
+
+def saturated_graph():
+    """User 0 has interacted with every item; user 1 with all but one."""
+    users = np.array([0, 0, 0, 1, 1])
+    items = np.array([0, 1, 2, 0, 1])
+    return InteractionGraph.from_edges(users, items, 2, 3)
 
 
 class TestBPRSampler:
@@ -53,12 +76,84 @@ class TestBPRSampler:
         assert counts[heavy].mean() > counts[light].mean()
 
 
+    def test_unsorted_csr_indices_never_leak_positives(self):
+        """Regression: rejection must work on unsorted CSR input."""
+        graph = unsorted_csr_graph()
+        sampler = BPRSampler(graph, np.random.default_rng(0))
+        users, pos, neg = sampler.sample(500)
+        for u, p, n in zip(users, pos, neg):
+            assert graph.has_edge(int(u), int(p))
+            assert not graph.has_edge(int(u), int(n))
+
+    def test_is_positive_agrees_with_ground_truth_unsorted(self):
+        graph = unsorted_csr_graph()
+        sampler = BPRSampler(graph, np.random.default_rng(0))
+        for u in range(graph.num_users):
+            for i in range(graph.num_items):
+                assert sampler._is_positive(u, i) == graph.has_edge(u, i)
+
+    def test_saturated_user_terminates(self):
+        """A user with every item observed must not hang the sampler."""
+        graph = saturated_graph()
+        sampler = BPRSampler(graph, np.random.default_rng(0))
+        with pytest.warns(RuntimeWarning, match="every item"):
+            users, pos, neg = sampler.sample(200)
+        assert len(neg) == 200
+        # user 1 has exactly one valid negative: item 2
+        for u, n in zip(users, neg):
+            if u == 1:
+                assert n == 2
+
+    def test_deterministic_for_fixed_seed(self, graph):
+        """Vectorized sampler reproduces identical triplets per seed."""
+        a = BPRSampler(graph, np.random.default_rng(42))
+        b = BPRSampler(graph, np.random.default_rng(42))
+        for _ in range(5):
+            ua, pa, na = a.sample(256)
+            ub, pb, nb = b.sample(256)
+            np.testing.assert_array_equal(ua, ub)
+            np.testing.assert_array_equal(pa, pb)
+            np.testing.assert_array_equal(na, nb)
+
+
 class TestNegativeSampleMatrix:
     def test_shape_and_validity(self, graph):
         users = np.array([0, 1, 2])
         negs = negative_sample_matrix(graph, users, 4,
                                       np.random.default_rng(5))
         assert negs.shape == (3, 4)
+        for row, user in enumerate(users):
+            for item in negs[row]:
+                assert not graph.has_edge(int(user), int(item))
+
+    def test_deterministic_for_fixed_seed(self, graph):
+        users = np.arange(10)
+        a = negative_sample_matrix(graph, users, 6,
+                                   np.random.default_rng(11))
+        b = negative_sample_matrix(graph, users, 6,
+                                   np.random.default_rng(11))
+        np.testing.assert_array_equal(a, b)
+
+    def test_near_saturated_user_falls_back_to_complement(self):
+        """Regression: the seed code looped (near-)forever here."""
+        graph = saturated_graph()
+        negs = negative_sample_matrix(graph, np.array([1]), 4,
+                                      np.random.default_rng(0),
+                                      max_rounds=2)
+        assert (negs == 2).all()  # item 2 is user 1's only non-positive
+
+    def test_fully_saturated_user_raises(self):
+        """No valid negative exists: an error beats an infinite loop."""
+        graph = saturated_graph()
+        with pytest.raises(ValueError, match="every item"):
+            negative_sample_matrix(graph, np.array([0]), 2,
+                                   np.random.default_rng(0), max_rounds=2)
+
+    def test_unsorted_csr_validity(self):
+        graph = unsorted_csr_graph()
+        users = np.arange(graph.num_users)
+        negs = negative_sample_matrix(graph, users, 3,
+                                      np.random.default_rng(1))
         for row, user in enumerate(users):
             for item in negs[row]:
                 assert not graph.has_edge(int(user), int(item))

@@ -99,6 +99,38 @@ class TestTrainer:
             [r.loss for r in results[1].history]
 
 
+class TestHotpathTimings:
+    def test_sampler_seconds_recorded(self, small_dataset,
+                                      fast_model_config):
+        model = build_model("biasmf", small_dataset, fast_model_config,
+                            seed=0)
+        cfg = TrainConfig(epochs=2, batch_size=64, eval_every=2)
+        result = fit_model(model, small_dataset, cfg, seed=0)
+        assert result.sampler_seconds > 0.0
+        assert result.sampler_seconds <= result.train_seconds
+
+    def test_spmm_seconds_zero_without_profiling(self, small_dataset,
+                                                 fast_model_config):
+        model = build_model("lightgcn", small_dataset, fast_model_config,
+                            seed=0)
+        cfg = TrainConfig(epochs=1, batch_size=64, eval_every=1)
+        result = fit_model(model, small_dataset, cfg, seed=0)
+        assert result.spmm_seconds == 0.0
+
+    def test_spmm_seconds_with_profiling(self, small_dataset,
+                                         fast_model_config):
+        from repro.autograd import enable_spmm_profiling
+        model = build_model("lightgcn", small_dataset, fast_model_config,
+                            seed=0)
+        cfg = TrainConfig(epochs=1, batch_size=64, eval_every=1)
+        enable_spmm_profiling(True)
+        try:
+            result = fit_model(model, small_dataset, cfg, seed=0)
+        finally:
+            enable_spmm_profiling(False)
+        assert result.spmm_seconds > 0.0
+
+
 class TestConfigs:
     def test_with_overrides(self):
         cfg = ModelConfig().with_overrides(embedding_dim=8)

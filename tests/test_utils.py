@@ -80,3 +80,14 @@ class TestTimer:
             pass
         timer.reset()
         assert timer.total == 0.0
+
+    def test_reset_inside_open_context(self):
+        """reset() inside a `with` block must not break the exit path."""
+        timer = Timer()
+        with timer:
+            timer.reset()  # seed code raised TypeError on __exit__
+        assert timer.total == 0.0
+        # the timer is still usable afterwards
+        with timer:
+            time.sleep(0.001)
+        assert timer.total > 0.0
