@@ -11,6 +11,20 @@ Budgets are sized for one CPU core: ~60 training epochs per model on
 ~400-node datasets.  Absolute metric values therefore differ from the
 paper; EXPERIMENTS.md records paper-vs-measured for every experiment.
 
+Bench precision (re-baselined at float32)
+-----------------------------------------
+Since the chunked-evaluation PR the whole bench suite trains in
+**float32** (``BENCH_DTYPE``): :func:`run_model` wraps model
+construction, training and probe extraction in
+``default_dtype(BENCH_DTYPE)``.  float32 is the production hot-path mode
+the hot-path PR introduced; float64 remains the library default so
+gradcheck-grade tests keep full precision.  Re-baselining shifts
+absolute metric values by O(1e-6) relative on the miniature profiles —
+well inside the run-to-run seed noise — so the paper-vs-measured deltas
+recorded for the float64 runs carry over unchanged; timing rows in the
+artifact below are float32 and are NOT comparable to pre-PR-1 float64
+rows (the ``dtype`` field keys that).
+
 Perf artifact: ``BENCH_hotpath.json``
 -------------------------------------
 Every run that trains through :func:`run_model` also appends a hot-path
@@ -21,7 +35,7 @@ timing record, and the bench session writes them to
 
     {
       "schema": "bench-hotpath/v1",
-      "dtype": "float64",               # autograd default dtype in effect
+      "dtype": "float32",               # the bench suite's BENCH_DTYPE
       "records": [
         {
           "model": "lightgcn",          # registry name of the model
@@ -33,15 +47,21 @@ timing record, and the bench session writes them to
           "train_seconds": 1.23,        # total wall-clock of training
           "epoch_seconds_mean": 0.02,   # train_seconds / epochs
           "sampler_seconds": 0.04,      # wall-clock inside BPR sampling
-          "spmm_seconds": 0.56          # wall-clock inside sparse matmuls
+          "spmm_seconds": 0.56,         # wall-clock inside sparse matmuls
+          "eval_seconds": 0.08          # wall-clock inside chunked
+                                        # ranking evaluation
         }, ...
       ],
-      "extras": {...}                   # free-form, e.g. the sampler
-                                        # microbenchmark speedup numbers
+      "extras": {...}                   # free-form, e.g. the sampler /
+                                        # evaluator microbenchmark numbers
     }
 
-The vectorized-sampler / cached-spmm speedup itself is measured by
-``benchmarks/test_hotpath.py``, which emits the artifact directly.
+The vectorized-sampler / cached-spmm / chunked-evaluator speedups are
+measured by ``benchmarks/test_hotpath.py``, which emits the artifact
+directly.  :func:`check_hotpath_trend` compares a session's records
+against the committed artifact and reports per-row regressions beyond a
+tolerance — the hot-path bench fails on them, which keeps the committed
+``BENCH_hotpath.json`` an enforced floor rather than a stale note.
 """
 
 from __future__ import annotations
@@ -55,8 +75,8 @@ from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.autograd import (enable_spmm_profiling, get_default_dtype,
-                            spmm_profile)
+from repro.autograd import (default_dtype, enable_spmm_profiling,
+                            get_default_dtype, spmm_profile)
 from repro.core import make_graphaug_variant
 from repro.data import InteractionDataset, load_profile
 from repro.eval import mean_average_distance
@@ -75,6 +95,9 @@ BENCH_MODEL_CONFIG = ModelConfig(embedding_dim=32, num_layers=3,
 
 #: the shared optimization budget
 BENCH_TRAIN_CONFIG = TrainConfig(epochs=60, batch_size=512, eval_every=20)
+
+#: precision every bench run trains in (see "Bench precision" above)
+BENCH_DTYPE = "float32"
 
 _dataset_cache: Dict[Tuple[str, int], InteractionDataset] = {}
 _run_cache: Dict[tuple, "RunResult"] = {}
@@ -104,6 +127,7 @@ def record_hotpath(model_name: str, dataset_name: str, fit: FitResult,
         "epoch_seconds_mean": fit.train_seconds / max(1, epochs),
         "sampler_seconds": fit.sampler_seconds,
         "spmm_seconds": fit.spmm_seconds,
+        "eval_seconds": fit.eval_seconds,
     })
 
 
@@ -144,7 +168,7 @@ def write_hotpath_artifact(path: Optional[str] = None) -> Optional[str]:
             extras = {**existing.get("extras", {}), **extras}
     payload = {
         "schema": "bench-hotpath/v1",
-        "dtype": np.dtype(get_default_dtype()).name,
+        "dtype": np.dtype(BENCH_DTYPE).name,
         "records": records,
         "extras": extras,
     }
@@ -152,6 +176,72 @@ def write_hotpath_artifact(path: Optional[str] = None) -> Optional[str]:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
     return path
+
+
+#: default headroom allowed over the committed baseline before the trend
+#: check calls a timing a regression (shared one-core machines are noisy)
+TREND_TOLERANCE = float(os.environ.get("BENCH_TREND_TOLERANCE", "1.5"))
+
+
+def load_committed_hotpath(path: Optional[str] = None) -> dict:
+    """The committed ``BENCH_hotpath.json`` payload ({} when absent)."""
+    if path is None:
+        path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "BENCH_hotpath.json")
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        return {}
+    if payload.get("schema") != "bench-hotpath/v1":
+        return {}
+    return payload
+
+
+def check_hotpath_trend(records: Optional[list] = None,
+                        baseline_path: Optional[str] = None,
+                        tolerance: Optional[float] = None) -> list:
+    """Compare timing records against the committed artifact.
+
+    Returns one message per record whose ``epoch_seconds_mean`` exceeds
+    the committed row (matched on ``(model, dataset, dtype, config)``)
+    by more than ``tolerance``x.  Records with no committed counterpart
+    are skipped — new configurations baseline themselves on first
+    commit.  The hot-path bench asserts the returned list is empty, so a
+    perf regression fails the bench instead of silently rolling into a
+    worse committed baseline.
+    """
+    if tolerance is None:
+        tolerance = TREND_TOLERANCE
+    if records is None:
+        records = _hotpath_records
+    baseline = {
+        (r.get("model"), r.get("dataset"), r.get("dtype"), r.get("config")):
+        r for r in load_committed_hotpath(baseline_path).get("records", ())
+    }
+    def tracked(row):
+        out = {"epoch_seconds_mean": row.get("epoch_seconds_mean", 0.0)}
+        if "eval_seconds" in row:  # end-to-end: training plus evaluations
+            out["train+eval_per_epoch"] = (
+                (row.get("train_seconds", 0.0) + row["eval_seconds"])
+                / max(1, row.get("epochs", 1)))
+        return out
+
+    regressions = []
+    for rec in records:
+        key = (rec.get("model"), rec.get("dataset"), rec.get("dtype"),
+               rec.get("config"))
+        base = baseline.get(key)
+        if base is None:
+            continue
+        now, then = tracked(rec), tracked(base)
+        for name in now.keys() & then.keys():
+            if then[name] > 0 and now[name] > then[name] * tolerance:
+                regressions.append(
+                    f"{rec['model']}/{rec['dataset']} ({rec['dtype']}) "
+                    f"{name}: {now[name] * 1e3:.1f}ms vs committed "
+                    f"{then[name] * 1e3:.1f}ms (> {tolerance:.2f}x)")
+    return regressions
 
 
 @dataclass
@@ -192,31 +282,36 @@ def run_model(model_name: str, dataset_name: str, seed: int = 0,
     model_config = model_config or BENCH_MODEL_CONFIG
     train_config = train_config or BENCH_TRAIN_CONFIG
     key = (model_name, dataset_name, seed, repr(model_config),
-           repr(train_config), np.dtype(get_default_dtype()).name,
+           repr(train_config), np.dtype(BENCH_DTYPE).name,
            cache_key_extra)
     if key in _run_cache:
         return _run_cache[key]
 
     data = dataset if dataset is not None else get_dataset(dataset_name,
                                                            seed=seed)
-    if builder is not None:
-        model = builder(data, model_config, seed=seed)
-    else:
-        model = build_model(model_name, data, model_config, seed=seed)
     was_profiling = spmm_profile()["enabled"]
     enable_spmm_profiling(True)
     try:
-        fit = fit_model(model, data, train_config, seed=seed)
+        # the whole bench suite trains at the production float32 precision
+        # (see "Bench precision" in the module docstring)
+        with default_dtype(BENCH_DTYPE):
+            if builder is not None:
+                model = builder(data, model_config, seed=seed)
+            else:
+                model = build_model(model_name, data, model_config,
+                                    seed=seed)
+            fit = fit_model(model, data, train_config, seed=seed)
+            record_hotpath(model_name, dataset_name, fit,
+                           config=_config_digest(model_config, train_config,
+                                                 cache_key_extra))
+            result = RunResult(
+                model_name=model_name, dataset_name=dataset_name,
+                metrics=dict(fit.best_metrics),
+                train_seconds=fit.train_seconds,
+                fit=fit, node_embeddings=model.node_embeddings(),
+                scores=model.score_all_users())
     finally:
         enable_spmm_profiling(was_profiling)
-    record_hotpath(model_name, dataset_name, fit,
-                   config=_config_digest(model_config, train_config,
-                                         cache_key_extra))
-    result = RunResult(
-        model_name=model_name, dataset_name=dataset_name,
-        metrics=dict(fit.best_metrics), train_seconds=fit.train_seconds,
-        fit=fit, node_embeddings=model.node_embeddings(),
-        scores=model.score_all_users())
     if dataset is None:  # only cache runs on the canonical datasets
         _run_cache[key] = result
     return result

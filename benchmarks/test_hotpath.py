@@ -1,13 +1,18 @@
-"""Hot-path microbenchmark: vectorized sampler + cached spmm vs the seed.
+"""Hot-path microbenchmarks: sampler, chunked evaluator, trend check.
 
 Measures, on the gowalla profile with the paper's 60-epoch budget:
 
 * the whole-batch rejection sampler against a reference per-sample
   Python-loop implementation (the seed code), asserting the >= 3x
-  speedup this PR claims;
-* one full LightGCN training run with spmm profiling on, so the
-  ``BENCH_hotpath.json`` artifact carries an epoch/sampler/spmm
-  wall-clock breakdown.
+  speedup the hot-path PR claims;
+* the chunked block evaluator against the seed's per-user
+  rank-and-score Python loop, asserting the >= 2x speedup the chunked
+  inference PR claims (and exact metric parity while at it);
+* one full LightGCN training run (float32 via the harness) with spmm
+  profiling on, so the ``BENCH_hotpath.json`` artifact carries an
+  epoch/sampler/spmm/eval wall-clock breakdown;
+* the trend check: the run above must not regress beyond
+  ``harness.TREND_TOLERANCE`` against the committed artifact.
 
 Run standalone with ``python benchmarks/test_hotpath.py`` or via
 ``pytest benchmarks/test_hotpath.py``.
@@ -20,14 +25,19 @@ import time
 
 import numpy as np
 
-from repro.autograd import default_dtype
 from repro.data import BPRSampler
+from repro.eval import (aggregate_metrics, compute_user_metrics,
+                        evaluate_scores, rank_items)
 
-from harness import (BENCH_TRAIN_CONFIG, get_dataset, record_hotpath_extra,
-                     run_model, write_hotpath_artifact)
+from harness import (BENCH_TRAIN_CONFIG, KS, check_hotpath_trend,
+                     get_dataset, record_hotpath_extra, run_model,
+                     write_hotpath_artifact)
 
-#: minimum sampler speedup the tentpole claims (acceptance criterion)
+#: minimum sampler speedup the hot-path PR claims (acceptance criterion)
 MIN_SAMPLER_SPEEDUP = 3.0
+
+#: minimum chunked-evaluator speedup over the per-user reference loop
+MIN_EVAL_SPEEDUP = 2.0
 
 
 class _NaiveBPRSampler:
@@ -58,6 +68,23 @@ class _NaiveBPRSampler:
                 neg[i] = self.rng.integers(0, self.graph.num_items)
                 tries += 1
         return users, pos, neg
+
+
+def _naive_evaluate(scores, dataset, ks, metrics):
+    """The seed's per-user evaluation loop (reference baseline)."""
+    test = dataset.test_matrix
+    users = np.where(np.diff(test.indptr) > 0)[0]
+    max_k = max(ks)
+    train = dataset.train.matrix
+    per_user = []
+    for user in users:
+        start, stop = test.indptr[user:user + 2]
+        positives = test.indices[start:stop]
+        if len(positives) == 0:
+            continue
+        ranked = rank_items(scores, train, user, k=max_k)
+        per_user.append(compute_user_metrics(ranked, positives, ks, metrics))
+    return aggregate_metrics(per_user)
 
 
 def _time_sampler(sampler, batch_size, num_batches):
@@ -103,21 +130,77 @@ def test_sampler_epoch_microbenchmark():
         f"{MIN_SAMPLER_SPEEDUP}x acceptance bar")
 
 
+def test_evaluator_microbenchmark():
+    """60 epochs' worth of gowalla evals: chunked engine vs per-user loop.
+
+    The BENCH budget evaluates every ``eval_every`` epochs; one bench
+    training run performs ``epochs / eval_every`` full-ranking passes, so
+    the rounds here mirror what the evaluator costs across a Table II
+    training run.
+    """
+    cfg = BENCH_TRAIN_CONFIG
+    dataset = get_dataset("gowalla")
+    rng = np.random.default_rng(0)
+    scores = rng.normal(size=(dataset.num_users, dataset.num_items))
+    metrics = ("recall", "ndcg")
+    rounds = max(1, cfg.epochs // cfg.eval_every)
+
+    chunked = evaluate_scores(scores, dataset, ks=KS, metrics=metrics)
+    reference = _naive_evaluate(scores, dataset, ks=KS, metrics=metrics)
+    assert chunked.keys() == reference.keys()
+    for key in reference:  # parity first: speed means nothing if wrong
+        assert abs(chunked[key] - reference[key]) < 1e-9, key
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        _naive_evaluate(scores, dataset, ks=KS, metrics=metrics)
+    naive_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(rounds):
+        evaluate_scores(scores, dataset, ks=KS, metrics=metrics)
+    chunked_seconds = time.perf_counter() - start
+
+    speedup = naive_seconds / max(chunked_seconds, 1e-12)
+    record_hotpath_extra("evaluator_microbenchmark", {
+        "dataset": "gowalla",
+        "ks": list(KS),
+        "metrics": list(metrics),
+        "rounds": rounds,
+        "naive_seconds": naive_seconds,
+        "chunked_seconds": chunked_seconds,
+        "speedup": speedup,
+    })
+    print(f"\nevaluator: per-user {naive_seconds:.3f}s, "
+          f"chunked {chunked_seconds:.3f}s, speedup {speedup:.1f}x")
+    assert speedup >= MIN_EVAL_SPEEDUP, (
+        f"evaluator speedup {speedup:.2f}x below the "
+        f"{MIN_EVAL_SPEEDUP}x acceptance bar")
+
+
 def test_training_hotpath_breakdown():
-    """One 60-epoch LightGCN run on gowalla, float32, timings recorded."""
-    with default_dtype("float32"):
-        result = run_model("lightgcn", "gowalla")
+    """One 60-epoch LightGCN run on gowalla (float32), timings recorded."""
+    result = run_model("lightgcn", "gowalla")
     fit = result.fit
     print(f"\nlightgcn/gowalla: train {fit.train_seconds:.2f}s "
           f"({fit.train_seconds / max(1, len(fit.history)):.3f}s/epoch), "
           f"sampler {fit.sampler_seconds:.2f}s, "
-          f"spmm {fit.spmm_seconds:.2f}s")
+          f"spmm {fit.spmm_seconds:.2f}s, eval {fit.eval_seconds:.2f}s")
     assert fit.train_seconds > 0
     assert 0 <= fit.sampler_seconds <= fit.train_seconds
     assert fit.spmm_seconds > 0  # profiling was on; spmm must be exercised
+    assert fit.eval_seconds > 0  # the 60-epoch budget evaluates 3 times
+
+
+def test_bench_trend_no_regression():
+    """This session's timings must not regress vs the committed artifact."""
+    run_model("lightgcn", "gowalla")  # memoized: reuses the breakdown run
+    regressions = check_hotpath_trend()
+    assert not regressions, "; ".join(regressions)
 
 
 if __name__ == "__main__":
     test_sampler_epoch_microbenchmark()
+    test_evaluator_microbenchmark()
     test_training_hotpath_breakdown()
+    test_bench_trend_no_regression()
     print(f"wrote {write_hotpath_artifact()}")

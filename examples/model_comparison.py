@@ -30,7 +30,8 @@ def main():
                                eval_every=max(1, epochs // 4))
 
     header = (f"{'model':>10s} | {'Recall@20':>9s} {'Recall@40':>9s} "
-              f"{'NDCG@20':>8s} {'NDCG@40':>8s} | {'time':>6s}")
+              f"{'NDCG@20':>8s} {'NDCG@40':>8s} | {'train':>6s} "
+              f"{'eval':>6s}")
     print(header)
     print("-" * len(header))
     for model_name in MODELS:
@@ -39,7 +40,8 @@ def main():
         m = result.best_metrics
         print(f"{model_name:>10s} | {m['recall@20']:9.4f} "
               f"{m['recall@40']:9.4f} {m['ndcg@20']:8.4f} "
-              f"{m['ndcg@40']:8.4f} | {result.train_seconds:5.1f}s")
+              f"{m['ndcg@40']:8.4f} | {result.train_seconds:5.1f}s "
+              f"{result.eval_seconds:5.1f}s")
 
 
 if __name__ == "__main__":

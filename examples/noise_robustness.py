@@ -23,7 +23,9 @@ def make_trainer(model_name: str, epochs: int = 40):
         fit_model(model, dataset,
                   TrainConfig(epochs=epochs, batch_size=512,
                               eval_every=epochs), seed=0)
-        return model.score_all_users()
+        # returning the model (not a dense score matrix) lets the
+        # protocol evaluate it through the chunked ranking engine
+        return model
     return train
 
 

@@ -10,7 +10,7 @@ coverage, Gini exposure concentration and novelty.
 """
 
 from repro.data import load_profile, popularity_statistics
-from repro.eval import beyond_accuracy_report, evaluate_scores
+from repro.eval import beyond_accuracy_report, evaluate_model
 from repro.models import build_model
 from repro.train import ModelConfig, TrainConfig, fit_model
 
@@ -31,10 +31,11 @@ def main():
     for name in ("lightgcn", "graphaug"):
         model = build_model(name, dataset, config, seed=0)
         fit_model(model, dataset, train_config, seed=0)
-        scores = model.score_all_users()
-        accuracy = evaluate_scores(scores, dataset, ks=(20,),
-                                   metrics=("recall",))
-        beyond = beyond_accuracy_report(scores, dataset, k=20)
+        # both evaluators accept the model directly and rank in chunks —
+        # the dense all-pairs matrix is never materialized
+        accuracy = evaluate_model(model, dataset, ks=(20,),
+                                  metrics=("recall",))
+        beyond = beyond_accuracy_report(model, dataset, k=20)
         print(f"{name:>10s} | {accuracy['recall@20']:9.4f} "
               f"{beyond['coverage@20']:9.3f} {beyond['gini@20']:6.3f} "
               f"{beyond['novelty@20']:8.3f}")

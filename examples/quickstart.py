@@ -12,7 +12,7 @@ the registry, training with the shared Trainer, and top-K evaluation.
 import numpy as np
 
 from repro.data import load_profile
-from repro.eval import evaluate_scores, rank_items
+from repro.eval import rank_items_block
 from repro.models import build_model
 from repro.train import ModelConfig, TrainConfig, fit_model
 
@@ -34,16 +34,20 @@ def main():
                                verbose=True)
     result = fit_model(model, dataset, train_config, seed=0)
 
-    # 4. Evaluate: full ranking with train positives masked
-    print(f"\ntrained in {result.train_seconds:.1f}s; best epoch "
+    # 4. Evaluate: chunked full ranking with train positives masked
+    # (the Trainer evaluates through repro.eval.evaluate_model, which
+    # scores users in blocks and never builds the all-pairs matrix)
+    print(f"\ntrained in {result.train_seconds:.1f}s "
+          f"(+{result.eval_seconds:.1f}s evaluating); best epoch "
           f"{result.best_epoch}")
     for key, value in sorted(result.best_metrics.items()):
         print(f"  {key:12s} {value:.4f}")
 
-    # 5. Recommend: top-5 items for one user
-    scores = model.score_all_users()
+    # 5. Recommend: top-5 items for one user, scoring only that user's row
     user = int(dataset.test_users()[0])
-    top5 = rank_items(scores, dataset.train.matrix, user, k=5)
+    user_ids = np.array([user])
+    top5 = rank_items_block(model.score_users(user_ids),
+                            dataset.train.matrix, user_ids, k=5)[0]
     print(f"\ntop-5 recommendations for user {user}: {top5.tolist()}")
     print(f"held-out positives: {dataset.test_items_of(user).tolist()}")
 

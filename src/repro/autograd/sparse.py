@@ -168,6 +168,7 @@ def _build_pattern(rows: np.ndarray, cols: np.ndarray,
     return {
         "fwd_order": fwd.data.astype(np.int64) - 1,
         "fwd_indices": fwd.indices, "fwd_indptr": fwd.indptr,
+        "fwd_counts": np.diff(fwd.indptr).astype(np.int64),
         "bwd_order": bwd.data.astype(np.int64) - 1,
         "bwd_indices": bwd.indices, "bwd_indptr": bwd.indptr,
     }
@@ -245,7 +246,19 @@ def weighted_spmm(rows: np.ndarray,
             dense._accumulate(_matmul(csr_t, g))
         if values.requires_grad:
             # d value[e] = <g[row_e], X[col_e]>
-            grad_vals = np.einsum("ed,ed->e", g[rows], dense_data[cols])
+            if pattern is None:
+                grad_vals = np.einsum("ed,ed->e", g[rows],
+                                      dense_data[cols])
+            else:
+                # segment form over the cached CSR layout: expand g by
+                # row-run-lengths (sequential, vs the random g[rows]
+                # gather) and read X in the already-sorted slot order,
+                # then permute the per-slot dots back to input order
+                g_rows = np.repeat(g, pattern["fwd_counts"], axis=0)
+                slot_dots = np.einsum("ed,ed->e", g_rows,
+                                      dense_data[pattern["fwd_indices"]])
+                grad_vals = np.empty_like(slot_dots)
+                grad_vals[pattern["fwd_order"]] = slot_dots
             values._accumulate(grad_vals)
 
     return Tensor._make(_matmul(csr, dense_data), (values, dense), backward,

@@ -23,7 +23,7 @@ import sys
 from typing import Optional
 
 from .data import PROFILES, load_profile, load_tsv
-from .eval import evaluate_scores
+from .eval import DEFAULT_CHUNK_SIZE, evaluate_model
 from .models import available_models, build_model
 from .train import ModelConfig, TrainConfig, fit_model
 from .train.callbacks import (BestCheckpoint, history_to_csv, load_state)
@@ -73,7 +73,8 @@ def cmd_train(args) -> int:
         verbose=not args.quiet)
     result = fit_model(model, dataset, train_config, seed=args.seed)
     print(f"\nbest epoch {result.best_epoch} "
-          f"({result.train_seconds:.1f}s):")
+          f"(train {result.train_seconds:.1f}s, "
+          f"eval {result.eval_seconds:.1f}s):")
     for key, value in sorted(result.best_metrics.items()):
         print(f"  {key:12s} {value:.4f}")
     if args.checkpoint:
@@ -94,8 +95,9 @@ def cmd_evaluate(args) -> int:
     if args.checkpoint:
         model.load_state_dict(load_state(args.checkpoint))
         print(f"loaded checkpoint {args.checkpoint}")
-    metrics = evaluate_scores(model.score_all_users(), dataset,
-                              ks=(20, 40))
+    # chunked ranking: never materializes the dense all-pairs matrix
+    metrics = evaluate_model(model, dataset, ks=(20, 40),
+                             chunk_size=args.eval_chunk)
     for key, value in sorted(metrics.items()):
         print(f"  {key:12s} {value:.4f}")
     return 0
@@ -128,6 +130,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--edge-threshold", type=float, default=0.2,
                        dest="edge_threshold")
         p.add_argument("--checkpoint", default=None)
+        if name == "evaluate":
+            p.add_argument("--eval-chunk", type=int,
+                           default=DEFAULT_CHUNK_SIZE, dest="eval_chunk",
+                           help="users ranked per evaluation block")
         if name == "train":
             p.add_argument("--epochs", type=int, default=60)
             p.add_argument("--batch-size", type=int, default=512,

@@ -1,9 +1,11 @@
-"""``repro.eval`` — metrics, ranking protocol and analysis probes."""
+"""``repro.eval`` — metrics, chunked ranking protocol and analysis probes."""
 
 from .metrics import (recall_at_k, ndcg_at_k, precision_at_k, hit_rate_at_k,
-                      mrr, average_precision, compute_user_metrics,
-                      aggregate_metrics)
-from .protocol import rank_items, evaluate_scores, evaluate_model
+                      mrr, mrr_at_k, average_precision, compute_user_metrics,
+                      aggregate_metrics, block_hits, compute_block_metrics)
+from .protocol import (rank_items, rank_items_block, scorer_from,
+                       evaluate_ranking, evaluate_scores, evaluate_model,
+                       top_k_lists, DEFAULT_CHUNK_SIZE)
 from .mad import mean_average_distance, neighbour_smoothness
 from .uniformity import uniformity, alignment, radial_spread, pca_projection
 from .groups import evaluate_user_groups, evaluate_item_groups
@@ -14,8 +16,11 @@ from .beyond_accuracy import (item_coverage, gini_index, novelty,
 
 __all__ = [
     "recall_at_k", "ndcg_at_k", "precision_at_k", "hit_rate_at_k", "mrr",
-    "average_precision", "compute_user_metrics", "aggregate_metrics",
-    "rank_items", "evaluate_scores", "evaluate_model",
+    "mrr_at_k", "average_precision", "compute_user_metrics",
+    "aggregate_metrics", "block_hits", "compute_block_metrics",
+    "rank_items", "rank_items_block", "scorer_from",
+    "evaluate_ranking", "evaluate_scores", "evaluate_model",
+    "top_k_lists", "DEFAULT_CHUNK_SIZE",
     "mean_average_distance", "neighbour_smoothness",
     "uniformity", "alignment", "radial_spread", "pca_projection",
     "evaluate_user_groups", "evaluate_item_groups",

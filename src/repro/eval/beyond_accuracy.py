@@ -1,7 +1,10 @@
 """Beyond-accuracy recommendation metrics: coverage, novelty, Gini.
 
 The paper motivates GraphAug partly by *popularity bias* in noisy implicit
-feedback (Sec I).  These metrics quantify that axis on any score matrix:
+feedback (Sec I).  These metrics quantify that axis on any score source
+``repro.eval.scorer_from`` accepts — a dense matrix, a model with
+``score_users`` (ranked through the chunked block engine, no all-pairs
+matrix), or a scorer callable:
 
 * :func:`item_coverage` — fraction of the catalogue that appears in at
   least one user's top-K list (higher = less popularity-concentrated);
@@ -12,6 +15,9 @@ feedback (Sec I).  These metrics quantify that axis on any score matrix:
   popularity-biased recommendations);
 * :func:`intra_list_distance` — mean pairwise embedding distance inside a
   top-K list (diversity).
+
+:func:`beyond_accuracy_report` ranks once and derives every metric from
+the shared top-K lists.
 """
 
 from __future__ import annotations
@@ -20,39 +26,24 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from .protocol import rank_items
+from .protocol import top_k_lists
 from ..data import InteractionDataset
 
 
-def _top_k_lists(scores: np.ndarray, dataset: InteractionDataset,
-                 k: int) -> np.ndarray:
-    """(num_users, k) matrix of recommended item ids, train masked."""
-    lists = np.empty((dataset.num_users, k), dtype=np.int64)
-    train = dataset.train.matrix
-    for user in range(dataset.num_users):
-        lists[user] = rank_items(scores, train, user, k=k)
-    return lists
+# --------------------------------------------------------------------- #
+# kernels over precomputed (num_users, k) top-K lists
+# --------------------------------------------------------------------- #
+
+def _coverage_of(lists: np.ndarray, num_items: int) -> float:
+    return len(np.unique(lists)) / float(num_items)
 
 
-def item_coverage(scores: np.ndarray, dataset: InteractionDataset,
-                  k: int = 20) -> float:
-    """Fraction of items recommended to at least one user in the top-k."""
-    lists = _top_k_lists(scores, dataset, k)
-    return len(np.unique(lists)) / float(dataset.num_items)
+def _exposure_of(lists: np.ndarray, num_items: int) -> np.ndarray:
+    return np.bincount(lists.ravel(), minlength=num_items)
 
 
-def exposure_counts(scores: np.ndarray, dataset: InteractionDataset,
-                    k: int = 20) -> np.ndarray:
-    """How many top-k lists each item appears in."""
-    lists = _top_k_lists(scores, dataset, k)
-    return np.bincount(lists.ravel(), minlength=dataset.num_items)
-
-
-def gini_index(scores: np.ndarray, dataset: InteractionDataset,
-               k: int = 20) -> float:
-    """Gini coefficient of item exposure (0 = even, 1 = concentrated)."""
-    counts = np.sort(exposure_counts(scores, dataset, k).astype(
-        np.float64))
+def _gini_of(lists: np.ndarray, num_items: int) -> float:
+    counts = np.sort(_exposure_of(lists, num_items).astype(np.float64))
     n = len(counts)
     total = counts.sum()
     if total == 0:
@@ -63,23 +54,20 @@ def gini_index(scores: np.ndarray, dataset: InteractionDataset,
                  - (n + 1.0) / n)
 
 
-def novelty(scores: np.ndarray, dataset: InteractionDataset,
-            k: int = 20, eps: float = 1e-12) -> float:
-    """Mean ``-log2 p(item)`` of recommendations under train popularity."""
+def _novelty_of(lists: np.ndarray, dataset: InteractionDataset,
+                eps: float) -> float:
     popularity = dataset.train.item_degrees()
     probs = popularity / max(popularity.sum(), eps)
-    lists = _top_k_lists(scores, dataset, k)
     info = -np.log2(np.maximum(probs[lists], eps))
     return float(info.mean())
 
 
-def intra_list_distance(scores: np.ndarray, dataset: InteractionDataset,
-                        item_embeddings: np.ndarray, k: int = 10,
-                        eps: float = 1e-12) -> float:
-    """Mean pairwise cosine distance inside each user's top-k list."""
+def _intra_list_distance_of(lists: np.ndarray,
+                            item_embeddings: np.ndarray,
+                            eps: float) -> float:
     unit = item_embeddings / np.maximum(
         np.linalg.norm(item_embeddings, axis=1, keepdims=True), eps)
-    lists = _top_k_lists(scores, dataset, k)
+    k = lists.shape[1]
     distances = []
     for row in lists:
         block = unit[row]
@@ -89,17 +77,60 @@ def intra_list_distance(scores: np.ndarray, dataset: InteractionDataset,
     return float(np.mean(distances))
 
 
-def beyond_accuracy_report(scores: np.ndarray,
+# --------------------------------------------------------------------- #
+# public metrics (each ranks on demand; use the report to rank once)
+# --------------------------------------------------------------------- #
+
+def item_coverage(scores, dataset: InteractionDataset,
+                  k: int = 20) -> float:
+    """Fraction of items recommended to at least one user in the top-k."""
+    return _coverage_of(top_k_lists(scores, dataset, k), dataset.num_items)
+
+
+def exposure_counts(scores, dataset: InteractionDataset,
+                    k: int = 20) -> np.ndarray:
+    """How many top-k lists each item appears in."""
+    return _exposure_of(top_k_lists(scores, dataset, k), dataset.num_items)
+
+
+def gini_index(scores, dataset: InteractionDataset,
+               k: int = 20) -> float:
+    """Gini coefficient of item exposure (0 = even, 1 = concentrated)."""
+    return _gini_of(top_k_lists(scores, dataset, k), dataset.num_items)
+
+
+def novelty(scores, dataset: InteractionDataset,
+            k: int = 20, eps: float = 1e-12) -> float:
+    """Mean ``-log2 p(item)`` of recommendations under train popularity."""
+    return _novelty_of(top_k_lists(scores, dataset, k), dataset, eps)
+
+
+def intra_list_distance(scores, dataset: InteractionDataset,
+                        item_embeddings: np.ndarray, k: int = 10,
+                        eps: float = 1e-12) -> float:
+    """Mean pairwise cosine distance inside each user's top-k list."""
+    return _intra_list_distance_of(top_k_lists(scores, dataset, k),
+                                   item_embeddings, eps)
+
+
+def beyond_accuracy_report(scores,
                            dataset: InteractionDataset,
                            item_embeddings: Optional[np.ndarray] = None,
                            k: int = 20) -> Dict[str, float]:
-    """All beyond-accuracy metrics in one dictionary."""
+    """All beyond-accuracy metrics from one shared ranking pass.
+
+    Scoring and ranking run exactly once; every metric (including the
+    ILD's shorter ``min(k, 10)`` cut-off, a prefix of the same sorted
+    lists) is derived from the resulting top-K lists.
+    """
+    lists = top_k_lists(scores, dataset, k)
     report = {
-        f"coverage@{k}": item_coverage(scores, dataset, k),
-        f"gini@{k}": gini_index(scores, dataset, k),
-        f"novelty@{k}": novelty(scores, dataset, k),
+        f"coverage@{k}": _coverage_of(lists, dataset.num_items),
+        f"gini@{k}": _gini_of(lists, dataset.num_items),
+        f"novelty@{k}": _novelty_of(lists, dataset, 1e-12),
     }
     if item_embeddings is not None:
-        report[f"ild@{min(k, 10)}"] = intra_list_distance(
-            scores, dataset, item_embeddings, k=min(k, 10))
+        kk = min(k, 10)
+        report[f"ild@{kk}"] = _intra_list_distance_of(
+            lists[:, :kk], item_embeddings, 1e-12)
     return report

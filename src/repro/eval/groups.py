@@ -15,7 +15,7 @@ from typing import Dict, Sequence, Tuple
 import numpy as np
 import scipy.sparse as sp
 
-from .protocol import evaluate_scores
+from .protocol import evaluate_ranking, scorer_from
 from ..data import InteractionDataset
 from ..data.splits import quantile_groups
 
@@ -30,40 +30,53 @@ def _restrict_test_to_items(test_matrix: sp.csr_matrix,
                          shape=test_matrix.shape)
 
 
-def evaluate_user_groups(scores: np.ndarray, dataset: InteractionDataset,
+def evaluate_user_groups(scores, dataset: InteractionDataset,
                          num_groups: int = 5,
                          ks: Sequence[int] = (40,),
                          metrics: Sequence[str] = ("recall", "ndcg")
                          ) -> Dict[str, Dict[str, float]]:
-    """Metrics per user-degree quantile group (sparsest group first)."""
+    """Metrics per user-degree quantile group (sparsest group first).
+
+    ``scores`` is any source :func:`repro.eval.scorer_from` accepts — a
+    dense matrix, a model with ``score_users``, or a scorer callable; a
+    model's inference cache is shared across all five group evaluations.
+    """
     degrees = dataset.train.user_degrees()
     groups = quantile_groups(degrees, num_groups)
     testable = set(dataset.test_users().tolist())
+    scorer, context = scorer_from(scores)
     out: Dict[str, Dict[str, float]] = {}
-    for label, users in groups.items():
-        users = np.asarray([u for u in users if u in testable])
-        if len(users) == 0:
-            out[label] = {}
-            continue
-        out[label] = evaluate_scores(scores, dataset, ks=ks, metrics=metrics,
-                                     users=users)
+    with context:
+        for label, users in groups.items():
+            users = np.asarray([u for u in users if u in testable])
+            if len(users) == 0:
+                out[label] = {}
+                continue
+            out[label] = evaluate_ranking(scorer, dataset, ks=ks,
+                                          metrics=metrics, users=users)
     return out
 
 
-def evaluate_item_groups(scores: np.ndarray, dataset: InteractionDataset,
+def evaluate_item_groups(scores, dataset: InteractionDataset,
                          num_groups: int = 5,
                          ks: Sequence[int] = (40,),
                          metrics: Sequence[str] = ("recall", "ndcg")
                          ) -> Dict[str, Dict[str, float]]:
-    """Metrics per item-degree quantile group (long-tail group first)."""
+    """Metrics per item-degree quantile group (long-tail group first).
+
+    ``scores`` accepts the same sources as :func:`evaluate_user_groups`.
+    """
     degrees = dataset.train.item_degrees()
     groups = quantile_groups(degrees, num_groups)
+    scorer, context = scorer_from(scores)
     out: Dict[str, Dict[str, float]] = {}
-    for label, items in groups.items():
-        restricted = _restrict_test_to_items(dataset.test_matrix, items)
-        if restricted.nnz == 0:
-            out[label] = {}
-            continue
-        out[label] = evaluate_scores(scores, dataset, ks=ks, metrics=metrics,
-                                     test_matrix=restricted)
+    with context:
+        for label, items in groups.items():
+            restricted = _restrict_test_to_items(dataset.test_matrix, items)
+            if restricted.nnz == 0:
+                out[label] = {}
+                continue
+            out[label] = evaluate_ranking(scorer, dataset, ks=ks,
+                                          metrics=metrics,
+                                          test_matrix=restricted)
     return out

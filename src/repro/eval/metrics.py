@@ -5,6 +5,17 @@ over all items, training positives masked out, per-user metrics averaged
 over users that have at least one test positive.  NDCG uses the standard
 binary-relevance form with the ideal DCG truncated at
 ``min(K, |test positives|)``.
+
+Two kernel families live here:
+
+* the per-user reference functions (:func:`recall_at_k` and friends) —
+  simple, obviously-correct, operating on one ranked list at a time;
+* the batched block kernels (:func:`block_hits`,
+  :func:`compute_block_metrics`) used by the chunked ranking engine in
+  :mod:`repro.eval.protocol` — one call covers a whole ``(block, K)`` hit
+  matrix via sorted-positives membership instead of per-user ``np.isin``.
+  They reproduce the reference values exactly (same float64 reduction
+  shapes), which ``tests/test_eval_chunked.py`` certifies.
 """
 
 from __future__ import annotations
@@ -67,11 +78,17 @@ def average_precision(ranked: np.ndarray, positives: np.ndarray,
     return float((precisions * hits).sum() / min(len(positives), k))
 
 
+def mrr_at_k(ranked: np.ndarray, positives: np.ndarray, k: int) -> float:
+    """Reciprocal rank of the first relevant item inside the top ``k``."""
+    return mrr(ranked[:k], positives)
+
+
 _METRIC_FUNCS = {
     "recall": recall_at_k,
     "ndcg": ndcg_at_k,
     "precision": precision_at_k,
     "hit": hit_rate_at_k,
+    "mrr": mrr_at_k,
     "map": average_precision,
 }
 
@@ -100,3 +117,112 @@ def aggregate_metrics(per_user: Iterable[Dict[str, float]]
         return {}
     keys = per_user[0].keys()
     return {key: float(np.mean([m[key] for m in per_user])) for key in keys}
+
+
+# --------------------------------------------------------------------- #
+# batched block kernels (chunked ranking engine)
+# --------------------------------------------------------------------- #
+
+def block_hits(ranked: np.ndarray, positives: np.ndarray,
+               positive_counts: np.ndarray, num_items: int) -> np.ndarray:
+    """Boolean hit matrix for a block of users' ranked lists.
+
+    Parameters
+    ----------
+    ranked:
+        ``(block, width)`` ranked item ids (one row per user).
+    positives:
+        Concatenated *sorted* test-positive item ids of the block's users,
+        user-major (the CSR ``indices`` layout).
+    positive_counts:
+        ``(block,)`` number of positives per user.
+    num_items:
+        Catalogue size (the key-encoding stride).
+
+    Membership is one :func:`np.searchsorted` over ``row * num_items +
+    item`` keys — user-major with sorted per-user positives makes the key
+    array globally sorted — instead of a per-user ``np.isin``.
+    """
+    block, width = ranked.shape
+    if positives.size == 0:
+        return np.zeros((block, width), dtype=bool)
+    user_rows = np.repeat(np.arange(block, dtype=np.int64), positive_counts)
+    pos_keys = user_rows * num_items + positives
+    ranked_keys = (np.arange(block, dtype=np.int64)[:, None] * num_items
+                   + ranked).ravel()
+    loc = np.searchsorted(pos_keys, ranked_keys)
+    hits = pos_keys[np.minimum(loc, len(pos_keys) - 1)] == ranked_keys
+    return hits.reshape(block, width)
+
+
+def _block_recall(hits: np.ndarray, npos: np.ndarray, k: int) -> np.ndarray:
+    return hits[:, :k].sum(axis=1) / npos
+
+
+def _block_precision(hits: np.ndarray, npos: np.ndarray,
+                     k: int) -> np.ndarray:
+    return hits[:, :k].sum(axis=1) / float(k)
+
+
+def _block_hit_rate(hits: np.ndarray, npos: np.ndarray,
+                    k: int) -> np.ndarray:
+    return hits[:, :k].any(axis=1).astype(np.float64)
+
+
+def _block_ndcg(hits: np.ndarray, npos: np.ndarray, k: int) -> np.ndarray:
+    kk = min(k, hits.shape[1])
+    gains = hits[:, :kk].astype(np.float64)
+    discounts = 1.0 / np.log2(np.arange(2, kk + 2))
+    dcg = (gains * discounts).sum(axis=1)
+    # per-count ideal DCG, summed exactly like the reference slice-sum so
+    # the quotient is bit-identical to ndcg_at_k
+    idcg_table = np.array([discounts[:h].sum() for h in range(1, kk + 1)])
+    ideal_hits = np.minimum(npos.astype(np.int64), kk)
+    return dcg / idcg_table[ideal_hits - 1]
+
+
+def _block_mrr(hits: np.ndarray, npos: np.ndarray, k: int) -> np.ndarray:
+    top = hits[:, :k]
+    first = np.argmax(top, axis=1)
+    found = top[np.arange(top.shape[0]), first]
+    return np.where(found, 1.0 / (first + 1.0), 0.0)
+
+
+def _block_average_precision(hits: np.ndarray, npos: np.ndarray,
+                             k: int) -> np.ndarray:
+    kk = min(k, hits.shape[1])
+    top = hits[:, :kk].astype(np.float64)
+    precisions = np.cumsum(top, axis=1) / np.arange(1, kk + 1)
+    ap = (precisions * top).sum(axis=1) / np.minimum(npos, float(k))
+    return np.where(top.sum(axis=1) > 0, ap, 0.0)
+
+
+_BLOCK_METRIC_FUNCS = {
+    "recall": _block_recall,
+    "ndcg": _block_ndcg,
+    "precision": _block_precision,
+    "hit": _block_hit_rate,
+    "mrr": _block_mrr,
+    "map": _block_average_precision,
+}
+
+
+def compute_block_metrics(hits: np.ndarray, positive_counts: np.ndarray,
+                          ks: Sequence[int],
+                          metrics: Sequence[str] = ("recall", "ndcg")
+                          ) -> Dict[str, np.ndarray]:
+    """Per-user ``(block,)`` arrays of every requested ``metric@k``.
+
+    ``hits`` is the :func:`block_hits` matrix truncated at ``max(ks)``;
+    every user in the block must have ``positive_counts > 0``.
+    """
+    out: Dict[str, np.ndarray] = {}
+    npos = positive_counts.astype(np.float64)
+    for metric in metrics:
+        func = _BLOCK_METRIC_FUNCS.get(metric)
+        if func is None:
+            raise KeyError(f"unknown metric {metric!r}; "
+                           f"available: {sorted(_BLOCK_METRIC_FUNCS)}")
+        for k in ks:
+            out[f"{metric}@{k}"] = func(hits, npos, k)
+    return out

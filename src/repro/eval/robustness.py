@@ -12,13 +12,13 @@ from typing import Callable, Dict, Sequence
 
 import numpy as np
 
-from .protocol import evaluate_scores
+from .protocol import evaluate_ranking, scorer_from
 from ..data import InteractionDataset
 from ..graph import inject_fake_edges
 
 
 def noise_robustness_curve(
-        train_fn: Callable[[InteractionDataset], np.ndarray],
+        train_fn: Callable[[InteractionDataset], object],
         dataset: InteractionDataset,
         noise_ratios: Sequence[float] = (0.0, 0.05, 0.1, 0.15, 0.2, 0.25),
         metric: str = "recall@20",
@@ -28,9 +28,11 @@ def noise_robustness_curve(
     Parameters
     ----------
     train_fn:
-        Callable that trains a fresh model on a dataset and returns the
-        dense score matrix.  (Keeping the model opaque lets the same
-        protocol drive GraphAug, NCL and LightGCN in the Fig 3 bench.)
+        Callable that trains a fresh model on a dataset and returns a
+        score source — the trained model itself (evaluated via the
+        chunked engine, no dense matrix) or a dense score matrix.
+        (Keeping the model opaque lets the same protocol drive GraphAug,
+        NCL and LightGCN in the Fig 3 bench.)
     metric:
         ``"metric@k"`` key to track.
     Returns
@@ -49,9 +51,10 @@ def noise_robustness_curve(
         else:
             noisy_graph, _, _ = inject_fake_edges(dataset.train, ratio, rng)
             noisy = dataset.with_train_graph(noisy_graph)
-        scores = train_fn(noisy)
-        result = evaluate_scores(scores, noisy, ks=ks,
-                                 metrics=(metric_name,))
+        scorer, context = scorer_from(train_fn(noisy))
+        with context:
+            result = evaluate_ranking(scorer, noisy, ks=ks,
+                                      metrics=(metric_name,))
         value = result[metric]
         if baseline is None:
             if ratio != 0.0:

@@ -51,6 +51,9 @@ class AutoRec(Recommender):
                   Tensor(np.zeros(())))
         return recon_loss + rank_loss + self.config.reg_weight * reg
 
-    def score_all_users(self) -> np.ndarray:
+    def score_users(self, user_ids=None) -> np.ndarray:
+        rows = self._rows
+        if user_ids is not None:
+            rows = rows[np.asarray(user_ids, dtype=np.int64)]
         with no_grad():
-            return self._reconstruct(self._rows).data
+            return self._reconstruct(rows).data

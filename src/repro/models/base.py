@@ -7,12 +7,34 @@ harnesses can drive any of them interchangeably:
 * ``loss(users, pos_items, neg_items)`` — scalar training loss on a BPR
   batch, *including* the model's own SSL / regularization terms;
 * ``propagate()`` — final user and item embedding tensors;
-* ``score_all_users()`` — dense ``(num_users, num_items)`` preference matrix;
+* ``score_users(user_ids)`` — ``(len(user_ids), num_items)`` preference
+  block for a subset of users (the inference contract, below);
+* ``score_all_users()`` — dense ``(num_users, num_items)`` preference
+  matrix; a thin compatibility wrapper over ``score_users``;
 * ``node_embeddings()`` — stacked user+item embeddings (MAD / Fig 7 probes).
+
+Scoring contract
+----------------
+The chunked ranking engine (:mod:`repro.eval.protocol`) drives inference
+exclusively through ``score_users`` so peak memory stays at ``chunk_size
+x num_items`` instead of the all-pairs matrix:
+
+* ``score_users(user_ids)`` returns scores for exactly those users, in
+  order; ``score_users(None)`` means *all* users and is what
+  ``score_all_users()`` forwards to.
+* The default implementation derives scores from ``propagate()`` as a
+  user-block/item dot product.  Models whose scores are *not* an
+  embedding dot product (``ncf``, ``autorec``, ``biasmf``) override
+  ``score_users`` — never ``score_all_users``.
+* ``inference_cache()`` is a context manager that memoizes one
+  ``propagate()`` across repeated ``score_users`` calls; evaluators hold
+  it open for the duration of one evaluation pass.  Outside the context
+  every call re-propagates, so training never sees stale embeddings.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Optional, Tuple
 
 import numpy as np
@@ -43,6 +65,9 @@ class Recommender(Module):
         dim = self.config.embedding_dim
         self.user_emb = Embedding(self.num_users, dim, self.init_rng)
         self.item_emb = Embedding(self.num_items, dim, self.init_rng)
+        self._inference_caching = False
+        self._inference_embeddings: Optional[Tuple[np.ndarray,
+                                                   np.ndarray]] = None
 
     # ------------------------------------------------------------------ #
     # embedding production
@@ -55,11 +80,56 @@ class Recommender(Module):
         """
         return self.user_emb.all(), self.item_emb.all()
 
-    def score_all_users(self) -> np.ndarray:
-        """Dense preference scores for every user-item pair (inference)."""
+    @contextmanager
+    def inference_cache(self):
+        """Share one ``propagate()`` across many ``score_users`` calls.
+
+        Chunked evaluation calls ``score_users`` once per user block;
+        holding this context open makes all blocks read the same final
+        embeddings instead of re-running message passing per block.  The
+        cache dies with the context, so parameter updates after it are
+        always reflected.
+        """
+        outer = self._inference_caching
+        self._inference_caching = True
+        try:
+            yield self
+        finally:
+            self._inference_caching = outer
+            if not outer:
+                self._inference_embeddings = None
+
+    def _final_embeddings(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Propagated (user, item) arrays, memoized under inference_cache."""
+        if self._inference_embeddings is not None:
+            return self._inference_embeddings
         with no_grad():
             users, items = self.propagate()
-            return users.data @ items.data.T
+        pair = (users.data, items.data)
+        if self._inference_caching:
+            self._inference_embeddings = pair
+        return pair
+
+    def score_users(self, user_ids: Optional[np.ndarray] = None
+                    ) -> np.ndarray:
+        """``(len(user_ids), num_items)`` preference block (inference).
+
+        ``None`` scores every user.  See the module docstring for the
+        full scoring contract.
+        """
+        users, items = self._final_embeddings()
+        if user_ids is None:
+            return users @ items.T
+        return users[np.asarray(user_ids, dtype=np.int64)] @ items.T
+
+    def score_all_users(self) -> np.ndarray:
+        """Dense preference scores for every user-item pair.
+
+        Compatibility wrapper: prefer ``score_users`` blocks (via
+        ``repro.eval.evaluate_model``) when the all-pairs matrix is not
+        actually needed.
+        """
+        return self.score_users()
 
     def node_embeddings(self) -> np.ndarray:
         """Stacked (num_users + num_items, d) final embeddings."""

@@ -39,9 +39,15 @@ class BiasMF(Recommender):
         return (F.bpr_loss(pos_scores, neg_scores)
                 + self.embedding_reg(users, pos, neg))
 
-    def score_all_users(self) -> np.ndarray:
+    def score_users(self, user_ids=None) -> np.ndarray:
         with no_grad():
-            scores = self.user_emb.weight.data @ self.item_emb.weight.data.T
-            scores = scores + self.user_bias.data[:, None]
+            user_vecs = self.user_emb.weight.data
+            user_bias = self.user_bias.data
+            if user_ids is not None:
+                user_ids = np.asarray(user_ids, dtype=np.int64)
+                user_vecs = user_vecs[user_ids]
+                user_bias = user_bias[user_ids]
+            scores = user_vecs @ self.item_emb.weight.data.T
+            scores = scores + user_bias[:, None]
             scores = scores + self.item_bias.data[None, :]
             return scores + self.global_bias.data[0]

@@ -47,12 +47,16 @@ class NCF(Recommender):
         return (F.bpr_loss(pos_scores, neg_scores)
                 + self.embedding_reg(users, pos, neg))
 
-    def score_all_users(self) -> np.ndarray:
-        """Score all pairs in user-chunks to bound peak memory."""
+    def score_users(self, user_ids=None) -> np.ndarray:
+        """Score a user block row-by-row (the MLP scores pairs, not dots)."""
+        if user_ids is None:
+            user_ids = np.arange(self.num_users, dtype=np.int64)
+        else:
+            user_ids = np.asarray(user_ids, dtype=np.int64)
         with no_grad():
-            out = np.empty((self.num_users, self.num_items))
+            out = np.empty((len(user_ids), self.num_items))
             all_items = np.arange(self.num_items)
-            for user in range(self.num_users):
+            for row, user in enumerate(user_ids):
                 users = np.full(self.num_items, user, dtype=np.int64)
-                out[user] = self._pair_scores(users, all_items).data
+                out[row] = self._pair_scores(users, all_items).data
             return out

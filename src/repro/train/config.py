@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence, Tuple
 
+from ..eval.protocol import DEFAULT_CHUNK_SIZE
+
 
 @dataclass
 class ModelConfig:
@@ -54,6 +56,9 @@ class TrainConfig:
     eval_every: int = 5                       # epochs between evaluations
     eval_ks: Sequence[int] = (20, 40)
     eval_metrics: Sequence[str] = ("recall", "ndcg")
+    eval_chunk_size: int = DEFAULT_CHUNK_SIZE  # users ranked per eval
+                                              # block; bounds eval memory
+                                              # at chunk x num_items scores
     early_stop_patience: Optional[int] = None  # evals w/o improvement
     early_stop_metric: str = "recall@20"
     verbose: bool = False

@@ -18,7 +18,7 @@ import numpy as np
 from .config import TrainConfig
 from ..autograd import Adam, ExponentialLR, spmm_profile
 from ..data import BPRSampler, InteractionDataset
-from ..eval import evaluate_scores
+from ..eval import evaluate_model
 from ..utils import Timer
 
 
@@ -43,6 +43,8 @@ class FitResult:
     sampler_seconds: float = 0.0          # wall-clock inside BPR sampling
     spmm_seconds: float = 0.0             # wall-clock inside sparse matmuls
                                           # (0 unless spmm profiling is on)
+    eval_seconds: float = 0.0             # wall-clock inside chunked
+                                          # ranking evaluation
 
     def metric_curve(self, key: str) -> List[float]:
         """Per-evaluation series of one metric (for convergence plots)."""
@@ -63,10 +65,19 @@ class Trainer:
     * ``model.loss(users, pos_items, neg_items) -> Tensor`` — scalar batch
       loss including the model's own regularizers / SSL terms;
     * ``model.parameters()`` — trainable tensors;
-    * ``model.score_all_users() -> ndarray`` — dense preference scores;
+    * ``model.score_users(user_ids) -> ndarray`` — chunked preference
+      scores (objects exposing only the legacy ``score_all_users()`` still
+      work: evaluation falls back to one dense materialization);
+    * optional ``model.inference_cache()`` — context manager sharing one
+      propagation across the evaluation's score chunks;
     * optional ``model.on_epoch_start(epoch, rng)`` — hook used by models
       that resample augmented structures each epoch (SGL, GraphAug, NCL's
       EM step, ...).
+
+    Evaluation runs through the chunked ranking engine
+    (:func:`repro.eval.evaluate_model`), so the trainer never allocates
+    the dense ``(num_users, num_items)`` score matrix; its wall-clock is
+    recorded in ``FitResult.eval_seconds``.
     """
 
     def __init__(self, model, dataset: InteractionDataset,
@@ -93,6 +104,7 @@ class Trainer:
         history: List[EpochRecord] = []
         timer = Timer()
         sampler_timer = Timer()
+        eval_timer = Timer()
         spmm_seconds_at_start = spmm_profile()["seconds"]
         best_value = -np.inf
         best_metrics: Dict[str, float] = {}
@@ -117,10 +129,11 @@ class Trainer:
 
             metrics: Dict[str, float] = {}
             if epoch % cfg.eval_every == 0 or epoch == cfg.epochs:
-                scores = self.model.score_all_users()
-                metrics = evaluate_scores(
-                    scores, self.dataset, ks=cfg.eval_ks,
-                    metrics=cfg.eval_metrics)
+                with eval_timer:
+                    metrics = evaluate_model(
+                        self.model, self.dataset, ks=cfg.eval_ks,
+                        metrics=cfg.eval_metrics,
+                        chunk_size=cfg.eval_chunk_size)
                 tracked = metrics.get(cfg.early_stop_metric)
                 if tracked is not None:
                     if tracked > best_value:
@@ -146,16 +159,18 @@ class Trainer:
 
         if not best_metrics and history:
             # no eval ever ran (eval_every > epochs); evaluate once at end
-            scores = self.model.score_all_users()
-            best_metrics = evaluate_scores(
-                scores, self.dataset, ks=cfg.eval_ks,
-                metrics=cfg.eval_metrics)
+            with eval_timer:
+                best_metrics = evaluate_model(
+                    self.model, self.dataset, ks=cfg.eval_ks,
+                    metrics=cfg.eval_metrics,
+                    chunk_size=cfg.eval_chunk_size)
             best_epoch = history[-1].epoch
         return FitResult(history=history, best_metrics=best_metrics,
                          best_epoch=best_epoch, train_seconds=timer.total,
                          sampler_seconds=sampler_timer.total,
                          spmm_seconds=(spmm_profile()["seconds"]
-                                       - spmm_seconds_at_start))
+                                       - spmm_seconds_at_start),
+                         eval_seconds=eval_timer.total)
 
 
 def fit_model(model, dataset: InteractionDataset,

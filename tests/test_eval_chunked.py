@@ -1,0 +1,303 @@
+"""Parity tests: the chunked block evaluator vs the per-user reference.
+
+The chunked engine (``repro.eval.protocol``) must reproduce the per-user
+reference protocol — :func:`rank_items` + :func:`compute_user_metrics` +
+:func:`aggregate_metrics` — on random score matrices for every metric/k
+combination, including edge chunks (chunk larger than the user count,
+chunk of one), users with zero test positives, and the ``users`` /
+``test_matrix`` overrides the Table V protocol uses.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.data import InteractionDataset, tiny_dataset
+from repro.eval import (aggregate_metrics, compute_user_metrics,
+                        evaluate_model, evaluate_ranking, evaluate_scores,
+                        rank_items, rank_items_block, scorer_from,
+                        top_k_lists)
+from repro.graph import InteractionGraph
+from repro.models import build_model
+from repro.train import ModelConfig
+
+ALL_METRICS = ("recall", "ndcg", "precision", "hit", "mrr", "map")
+KS = (1, 3, 5, 20, 100)
+
+
+def reference_evaluate(scores, dataset, ks, metrics, users=None,
+                       test_matrix=None):
+    """The seed's per-user evaluation loop, kept verbatim as the oracle."""
+    test = dataset.test_matrix if test_matrix is None else test_matrix
+    if users is None:
+        users = np.where(np.diff(test.indptr) > 0)[0]
+    max_k = max(ks)
+    train = dataset.train.matrix
+    per_user = []
+    for user in users:
+        start, stop = test.indptr[user:user + 2]
+        positives = test.indices[start:stop]
+        if len(positives) == 0:
+            continue
+        ranked = rank_items(scores, train, user, k=max_k)
+        per_user.append(compute_user_metrics(ranked, positives, ks, metrics))
+    return aggregate_metrics(per_user)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    """49 users x 31 items with several zero-test-positive users."""
+    rng = np.random.default_rng(42)
+    num_users, num_items = 49, 31
+    rows = rng.integers(0, num_users, 400)
+    cols = rng.integers(0, num_items, 400)
+    train = InteractionGraph.from_edges(rows, cols, num_users, num_items)
+    t_rows = rng.integers(0, num_users - 7, 120)  # last 7 users: no tests
+    t_cols = rng.integers(0, num_items, 120)
+    test = sp.csr_matrix((np.ones(120), (t_rows, t_cols)),
+                         shape=(num_users, num_items))
+    return InteractionDataset(name="parity", train=train, test_matrix=test)
+
+
+@pytest.fixture(scope="module")
+def scores(dataset):
+    return np.random.default_rng(0).normal(
+        size=(dataset.num_users, dataset.num_items))
+
+
+class TestRankItemsBlock:
+    @pytest.mark.parametrize("k", [None, 1, 3, 10, 31, 500])
+    def test_matches_per_user_reference(self, dataset, scores, k):
+        users = np.arange(dataset.num_users)
+        block = rank_items_block(scores, dataset.train.matrix, users, k=k)
+        for user in users:
+            np.testing.assert_array_equal(
+                block[user], rank_items(scores, dataset.train.matrix,
+                                        user, k=k))
+
+    def test_user_subset_rows_align(self, dataset, scores):
+        # the block is pre-sliced to the chunk; user_ids only drive the
+        # train-positive masking
+        subset = np.array([5, 0, 17, 3])
+        block = rank_items_block(scores[subset], dataset.train.matrix,
+                                 subset, k=4)
+        for row, user in enumerate(subset):
+            np.testing.assert_array_equal(
+                block[row], rank_items(scores, dataset.train.matrix,
+                                       user, k=4))
+
+    def test_input_scores_not_mutated(self, dataset, scores):
+        before = scores.copy()
+        rank_items_block(scores, dataset.train.matrix,
+                         np.arange(dataset.num_users), k=5)
+        np.testing.assert_array_equal(scores, before)
+
+
+class TestChunkedParity:
+    @pytest.mark.parametrize("chunk_size", [1, 3, 8, 49, 10_000])
+    def test_all_metrics_all_ks(self, dataset, scores, chunk_size):
+        out = evaluate_scores(scores, dataset, ks=KS, metrics=ALL_METRICS,
+                              chunk_size=chunk_size)
+        ref = reference_evaluate(scores, dataset, KS, ALL_METRICS)
+        assert list(out.keys()) == list(ref.keys())
+        for key in ref:
+            assert out[key] == pytest.approx(ref[key], abs=1e-12), key
+
+    def test_users_override_with_zero_positive_users(self, dataset, scores):
+        # mixes evaluable users with users that have no test positives;
+        # both paths must silently skip the latter (Table V user groups)
+        users = np.array([2, 48, 0, 47, 11, 46])
+        out = evaluate_scores(scores, dataset, ks=(3, 5),
+                              metrics=ALL_METRICS, users=users,
+                              chunk_size=2)
+        ref = reference_evaluate(scores, dataset, (3, 5), ALL_METRICS,
+                                 users=users)
+        for key in ref:
+            assert out[key] == pytest.approx(ref[key], abs=1e-12), key
+
+    def test_test_matrix_override(self, dataset, scores):
+        # Table V item groups: test positives restricted to an item bucket
+        rng = np.random.default_rng(9)
+        rows = rng.integers(0, dataset.num_users, 60)
+        cols = rng.integers(0, dataset.num_items // 2, 60)
+        other = sp.csr_matrix((np.ones(60), (rows, cols)),
+                              shape=dataset.test_matrix.shape)
+        out = evaluate_scores(scores, dataset, ks=(5,), metrics=ALL_METRICS,
+                              test_matrix=other, chunk_size=7)
+        ref = reference_evaluate(scores, dataset, (5,), ALL_METRICS,
+                                 test_matrix=other)
+        for key in ref:
+            assert out[key] == pytest.approx(ref[key], abs=1e-12), key
+
+    def test_empty_test_matrix_returns_empty(self, dataset, scores):
+        empty = sp.csr_matrix(dataset.test_matrix.shape)
+        assert evaluate_scores(scores, dataset, ks=(5,),
+                               test_matrix=empty) == {}
+
+    def test_unknown_metric_raises(self, dataset, scores):
+        with pytest.raises(KeyError, match="unknown metric"):
+            evaluate_scores(scores, dataset, ks=(5,), metrics=("auc",))
+
+    def test_unsorted_test_matrix_indices(self, dataset, scores):
+        # CSR with deliberately unsorted indices: the engine must sort a
+        # copy before the searchsorted membership kernel
+        test = dataset.test_matrix.copy()
+        for user in range(test.shape[0]):
+            start, stop = test.indptr[user:user + 2]
+            test.indices[start:stop] = test.indices[start:stop][::-1]
+        assert not test.has_sorted_indices
+        out = evaluate_scores(scores, dataset, ks=(5,), metrics=("recall",),
+                              test_matrix=test)
+        ref = reference_evaluate(scores, dataset, (5,), ("recall",))
+        assert out["recall@5"] == pytest.approx(ref["recall@5"], abs=1e-12)
+
+
+class TestEvaluateRankingEngine:
+    def test_chunk_sizes_respected(self, dataset, scores):
+        calls = []
+
+        def spy(user_ids):
+            calls.append(len(user_ids))
+            return scores[user_ids]
+
+        evaluate_ranking(spy, dataset, ks=(5,), metrics=("recall",),
+                         chunk_size=8)
+        assert calls and max(calls) <= 8
+
+    def test_never_materializes_all_pairs(self, dataset):
+        model = build_model("lightgcn", dataset,
+                            ModelConfig(embedding_dim=8), seed=0)
+        blocks = []
+        original = model.score_users
+
+        def tracking(user_ids=None):
+            block = original(user_ids)
+            blocks.append(block.shape[0])
+            return block
+
+        model.score_users = tracking
+        evaluate_model(model, dataset, ks=(5,), metrics=("recall",),
+                       chunk_size=10)
+        assert blocks and max(blocks) <= 10  # never num_users-sized
+
+
+class TestScorerFrom:
+    def test_matrix_source(self, dataset, scores):
+        scorer, context = scorer_from(scores)
+        with context:
+            np.testing.assert_array_equal(scorer(np.array([3, 1])),
+                                          scores[[3, 1]])
+
+    def test_legacy_score_all_users_source(self, dataset, scores):
+        class Legacy:
+            def score_all_users(self):
+                return scores
+
+        scorer, context = scorer_from(Legacy())
+        with context:
+            np.testing.assert_array_equal(scorer(np.array([0, 2])),
+                                          scores[[0, 2]])
+
+    def test_callable_source(self, dataset, scores):
+        scorer, context = scorer_from(lambda ids: scores[ids])
+        with context:
+            np.testing.assert_array_equal(scorer(np.array([4])),
+                                          scores[[4]])
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError, match="cannot build a scorer"):
+            scorer_from(42)
+
+
+class TestModelScoringContract:
+    @pytest.mark.parametrize("name", ["lightgcn", "biasmf", "ncf",
+                                      "autorec", "graphaug"])
+    def test_score_users_matches_score_all_users(self, small_dataset, name):
+        model = build_model(name, small_dataset,
+                            ModelConfig(embedding_dim=8), seed=0)
+        full = model.score_all_users()
+        ids = np.array([7, 0, 3, 59, 12])
+        np.testing.assert_allclose(model.score_users(ids), full[ids],
+                                   rtol=1e-6, atol=1e-6)
+
+    @pytest.mark.parametrize("name", ["lightgcn", "biasmf", "ncf",
+                                      "autorec"])
+    def test_evaluate_model_matches_dense_path(self, small_dataset, name):
+        model = build_model(name, small_dataset,
+                            ModelConfig(embedding_dim=8), seed=0)
+        chunked = evaluate_model(model, small_dataset, ks=(5, 20),
+                                 metrics=ALL_METRICS, chunk_size=13)
+        dense = evaluate_scores(model.score_all_users(), small_dataset,
+                                ks=(5, 20), metrics=ALL_METRICS)
+        for key in dense:
+            assert chunked[key] == pytest.approx(dense[key], abs=1e-9), key
+
+    def test_inference_cache_shares_propagation(self, small_dataset):
+        model = build_model("lightgcn", small_dataset,
+                            ModelConfig(embedding_dim=8), seed=0)
+        counter = {"calls": 0}
+        original = type(model).propagate
+
+        def counting(self):
+            counter["calls"] += 1
+            return original(self)
+
+        model.propagate = counting.__get__(model)
+        with model.inference_cache():
+            for _ in range(4):
+                model.score_users(np.array([0, 1]))
+        assert counter["calls"] == 1
+
+    def test_cache_dies_with_context(self, small_dataset):
+        model = build_model("lightgcn", small_dataset,
+                            ModelConfig(embedding_dim=8), seed=0)
+        with model.inference_cache():
+            before = model.score_users(np.array([0])).copy()
+        # parameter update after the context must be reflected
+        model.user_emb.weight.data += 1.0
+        after = model.score_users(np.array([0]))
+        assert not np.allclose(before, after)
+
+    def test_uncached_score_users_always_fresh(self, small_dataset):
+        model = build_model("lightgcn", small_dataset,
+                            ModelConfig(embedding_dim=8), seed=0)
+        before = model.score_users(np.array([0])).copy()
+        model.user_emb.weight.data += 1.0
+        after = model.score_users(np.array([0]))
+        assert not np.allclose(before, after)
+
+
+class TestTopKLists:
+    def test_matches_reference_rank_items(self, dataset, scores):
+        lists = top_k_lists(scores, dataset, k=5, chunk_size=6)
+        assert lists.shape == (dataset.num_users, 5)
+        for user in range(dataset.num_users):
+            np.testing.assert_array_equal(
+                lists[user], rank_items(scores, dataset.train.matrix,
+                                        user, k=5))
+
+    def test_model_source(self, small_dataset):
+        model = build_model("biasmf", small_dataset,
+                            ModelConfig(embedding_dim=8), seed=0)
+        via_model = top_k_lists(model, small_dataset, k=4)
+        via_dense = top_k_lists(model.score_all_users(), small_dataset, k=4)
+        np.testing.assert_array_equal(via_model, via_dense)
+
+
+class TestTrainerEvalSeconds:
+    def test_eval_seconds_recorded(self, small_dataset):
+        from repro.train import TrainConfig, fit_model
+        model = build_model("biasmf", small_dataset,
+                            ModelConfig(embedding_dim=8), seed=0)
+        cfg = TrainConfig(epochs=2, batch_size=64, eval_every=1)
+        result = fit_model(model, small_dataset, cfg, seed=0)
+        assert result.eval_seconds > 0.0
+
+    def test_fallback_eval_also_timed(self, small_dataset):
+        from repro.train import TrainConfig, fit_model
+        model = build_model("biasmf", small_dataset,
+                            ModelConfig(embedding_dim=8), seed=0)
+        cfg = TrainConfig(epochs=1, batch_size=64, eval_every=100)
+        result = fit_model(model, small_dataset, cfg, seed=0)
+        assert result.best_metrics  # the end-of-fit fallback ran
+        assert result.eval_seconds > 0.0
