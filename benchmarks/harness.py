@@ -200,7 +200,8 @@ def load_committed_hotpath(path: Optional[str] = None) -> dict:
 
 def check_hotpath_trend(records: Optional[list] = None,
                         baseline_path: Optional[str] = None,
-                        tolerance: Optional[float] = None) -> list:
+                        tolerance: Optional[float] = None,
+                        extras: Optional[dict] = None) -> list:
     """Compare timing records against the committed artifact.
 
     Returns one message per record whose ``epoch_seconds_mean`` exceeds
@@ -210,14 +211,23 @@ def check_hotpath_trend(records: Optional[list] = None,
     commit.  The hot-path bench asserts the returned list is empty, so a
     perf regression fails the bench instead of silently rolling into a
     worse committed baseline.
+
+    The serving tier is gated through ``extras`` the same way: when both
+    this session and the committed artifact carry a
+    ``serving_microbenchmark`` entry, its single-worker batched
+    throughput (``users_per_second_batched``, higher is better) must not
+    fall below the committed number by more than ``tolerance``x.
     """
     if tolerance is None:
         tolerance = TREND_TOLERANCE
     if records is None:
         records = _hotpath_records
+    if extras is None:
+        extras = _hotpath_extras
+    committed = load_committed_hotpath(baseline_path)
     baseline = {
         (r.get("model"), r.get("dataset"), r.get("dtype"), r.get("config")):
-        r for r in load_committed_hotpath(baseline_path).get("records", ())
+        r for r in committed.get("records", ())
     }
     def tracked(row):
         out = {"epoch_seconds_mean": row.get("epoch_seconds_mean", 0.0)}
@@ -241,6 +251,16 @@ def check_hotpath_trend(records: Optional[list] = None,
                     f"{rec['model']}/{rec['dataset']} ({rec['dtype']}) "
                     f"{name}: {now[name] * 1e3:.1f}ms vs committed "
                     f"{then[name] * 1e3:.1f}ms (> {tolerance:.2f}x)")
+
+    serving = (extras or {}).get("serving_microbenchmark")
+    base_serving = committed.get("extras", {}).get("serving_microbenchmark")
+    if serving and base_serving:
+        key = "users_per_second_batched"
+        now_tp, then_tp = serving.get(key), base_serving.get(key)
+        if now_tp and then_tp and now_tp * tolerance < then_tp:
+            regressions.append(
+                f"serving {key}: {now_tp:,.0f}/s vs committed "
+                f"{then_tp:,.0f}/s (> {tolerance:.2f}x slower)")
     return regressions
 
 

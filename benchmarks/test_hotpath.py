@@ -1,4 +1,4 @@
-"""Hot-path microbenchmarks: sampler, chunked evaluator, trend check.
+"""Hot-path microbenchmarks: sampler, evaluator, serving, trend check.
 
 Measures, on the gowalla profile with the paper's 60-epoch budget:
 
@@ -8,11 +8,17 @@ Measures, on the gowalla profile with the paper's 60-epoch budget:
 * the chunked block evaluator against the seed's per-user
   rank-and-score Python loop, asserting the >= 2x speedup the chunked
   inference PR claims (and exact metric parity while at it);
+* serving throughput (users/sec at k=20) of the
+  ``repro.serve.RecommenderService`` — batched single-worker against a
+  naive score-one-rank-one request loop (>= 2x asserted), plus the
+  N-worker sharded path, which must return bit-identical lists and is
+  asserted faster only when the machine actually has multiple cores;
 * one full LightGCN training run (float32 via the harness) with spmm
   profiling on, so the ``BENCH_hotpath.json`` artifact carries an
   epoch/sampler/spmm/eval wall-clock breakdown;
 * the trend check: the run above must not regress beyond
-  ``harness.TREND_TOLERANCE`` against the committed artifact.
+  ``harness.TREND_TOLERANCE`` against the committed artifact (serving
+  throughput included, via the ``serving_microbenchmark`` extra).
 
 Run standalone with ``python benchmarks/test_hotpath.py`` or via
 ``pytest benchmarks/test_hotpath.py``.
@@ -21,6 +27,7 @@ Run standalone with ``python benchmarks/test_hotpath.py`` or via
 from __future__ import annotations
 
 import math
+import os
 import time
 
 import numpy as np
@@ -29,8 +36,9 @@ from repro.data import BPRSampler
 from repro.eval import (aggregate_metrics, compute_user_metrics,
                         evaluate_scores, rank_items)
 
-from harness import (BENCH_TRAIN_CONFIG, KS, check_hotpath_trend,
-                     get_dataset, record_hotpath_extra, run_model,
+from harness import (BENCH_DTYPE, BENCH_MODEL_CONFIG, BENCH_TRAIN_CONFIG,
+                     KS, check_hotpath_trend, get_dataset,
+                     record_hotpath_extra, run_model,
                      write_hotpath_artifact)
 
 #: minimum sampler speedup the hot-path PR claims (acceptance criterion)
@@ -38,6 +46,12 @@ MIN_SAMPLER_SPEEDUP = 3.0
 
 #: minimum chunked-evaluator speedup over the per-user reference loop
 MIN_EVAL_SPEEDUP = 2.0
+
+#: minimum batched-serving speedup over the naive per-request loop
+MIN_SERVE_SPEEDUP = 2.0
+
+#: worker-pool width for the sharded serving measurement
+SERVE_WORKERS = 4
 
 
 class _NaiveBPRSampler:
@@ -177,6 +191,101 @@ def test_evaluator_microbenchmark():
         f"{MIN_EVAL_SPEEDUP}x acceptance bar")
 
 
+def _naive_serve(user_emb, item_emb, train_matrix, users, k):
+    """The pre-serving pattern: score one user, mask, rank, next user."""
+    out = np.empty((len(users), k), dtype=np.int64)
+    for row, user in enumerate(users):
+        scores = user_emb[user] @ item_emb.T
+        start, stop = train_matrix.indptr[user:user + 2]
+        scores[train_matrix.indices[start:stop]] = -np.inf
+        top = np.argpartition(-scores, k)[:k]
+        out[row] = top[np.argsort(-scores[top], kind="stable")]
+    return out
+
+
+def test_serving_throughput_microbenchmark(tmp_path):
+    """Users/sec at k=20: naive loop vs service, 1 vs N workers.
+
+    The service answers from a snapshot artifact (the production path:
+    train elsewhere, serve from the file).  The sharded run must return
+    exactly the single-worker lists; it is only asserted *faster* when
+    the machine has more than one usable core, since threads cannot beat
+    one core on pure numpy work — its throughput is recorded either way.
+    """
+    from repro.autograd import default_dtype
+    from repro.models import build_model
+    from repro.serve import RecommenderService, save_snapshot
+
+    k = 20
+    dataset = get_dataset("gowalla")
+    with default_dtype(BENCH_DTYPE):
+        model = build_model("lightgcn", dataset, BENCH_MODEL_CONFIG,
+                            seed=0)
+    path = save_snapshot(model, dataset, str(tmp_path / "serve-bench"))
+    users = np.arange(dataset.num_users, dtype=np.int64)
+    # several shards per request so the worker pool has work to split
+    chunk_size = max(1, math.ceil(len(users) / SERVE_WORKERS))
+    single = RecommenderService.from_snapshot(path, num_workers=1,
+                                              chunk_size=chunk_size)
+    sharded = RecommenderService.from_snapshot(path,
+                                               num_workers=SERVE_WORKERS,
+                                               chunk_size=chunk_size)
+    user_emb, item_emb = single._user_emb, single._item_emb
+    train = dataset.train.matrix
+
+    # parity first: the naive loop, the service and the sharded service
+    # must agree exactly before any timing means anything
+    expected = single.recommend(users, k=k)
+    assert np.array_equal(expected,
+                          _naive_serve(user_emb, item_emb, train, users, k))
+    assert np.array_equal(expected, sharded.recommend(users, k=k))
+
+    def throughput(fn, min_seconds=0.5):
+        fn()  # warm
+        rounds, elapsed = 0, 0.0
+        while elapsed < min_seconds:
+            start = time.perf_counter()
+            fn()
+            elapsed += time.perf_counter() - start
+            rounds += 1
+        return rounds * len(users) / elapsed
+
+    naive_tp = throughput(
+        lambda: _naive_serve(user_emb, item_emb, train, users, k))
+    batched_tp = throughput(lambda: single.recommend(users, k=k))
+    sharded_tp = throughput(lambda: sharded.recommend(users, k=k))
+    single.close()
+    sharded.close()
+
+    cores = (len(os.sched_getaffinity(0))
+             if hasattr(os, "sched_getaffinity")
+             else os.cpu_count() or 1)
+    record_hotpath_extra("serving_microbenchmark", {
+        "dataset": "gowalla",
+        "k": k,
+        "num_users": int(len(users)),
+        "workers": SERVE_WORKERS,
+        "cores": cores,
+        "users_per_second_naive": naive_tp,
+        "users_per_second_batched": batched_tp,
+        "users_per_second_sharded": sharded_tp,
+        "speedup_batched_vs_naive": batched_tp / naive_tp,
+        "speedup_sharded_vs_batched": sharded_tp / batched_tp,
+    })
+    print(f"\nserving k={k}: naive {naive_tp:,.0f}/s, "
+          f"batched(1w) {batched_tp:,.0f}/s, "
+          f"sharded({SERVE_WORKERS}w) {sharded_tp:,.0f}/s "
+          f"({cores} core(s))")
+    assert batched_tp >= MIN_SERVE_SPEEDUP * naive_tp, (
+        f"batched serving only {batched_tp / naive_tp:.2f}x the naive "
+        f"loop, below the {MIN_SERVE_SPEEDUP}x acceptance bar")
+    if cores > 1:
+        assert sharded_tp > batched_tp, (
+            f"{SERVE_WORKERS}-worker sharding ({sharded_tp:,.0f}/s) did "
+            f"not beat single-worker ({batched_tp:,.0f}/s) on a "
+            f"{cores}-core machine")
+
+
 def test_training_hotpath_breakdown():
     """One 60-epoch LightGCN run on gowalla (float32), timings recorded."""
     result = run_model("lightgcn", "gowalla")
@@ -199,8 +308,13 @@ def test_bench_trend_no_regression():
 
 
 if __name__ == "__main__":
+    import pathlib
+    import tempfile
+
     test_sampler_epoch_microbenchmark()
     test_evaluator_microbenchmark()
+    test_serving_throughput_microbenchmark(
+        pathlib.Path(tempfile.mkdtemp()))
     test_training_hotpath_breakdown()
     test_bench_trend_no_regression()
     print(f"wrote {write_hotpath_artifact()}")

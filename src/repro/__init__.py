@@ -9,11 +9,12 @@ Subpackages
 ``repro.train``     configs and the shared training loop
 ``repro.models``    17 baseline recommenders + registry
 ``repro.core``      GraphAug: learnable augmentor, GIB, mixhop encoder
+``repro.serve``     online serving: snapshots, sharded workers, updates
 """
 
 __version__ = "1.0.0"
 
-from . import autograd, graph, data, eval, train, utils
+from . import autograd, graph, data, eval, train, serve, utils
 
-__all__ = ["autograd", "graph", "data", "eval", "train", "utils",
+__all__ = ["autograd", "graph", "data", "eval", "train", "serve", "utils",
            "__version__"]

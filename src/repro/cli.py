@@ -2,10 +2,12 @@
 
 Commands
 --------
-``train``     train any registered model on a dataset profile or TSV file
-``evaluate``  load a saved checkpoint and re-evaluate it
-``models``    list the registry
-``datasets``  print Table-I style statistics for the synthetic profiles
+``train``      train any registered model on a dataset profile or TSV file
+``evaluate``   load a saved checkpoint and re-evaluate it
+``recommend``  serve top-k recommendations from a serving snapshot
+               (training one first when the snapshot doesn't exist yet)
+``models``     list the registry
+``datasets``   print Table-I style statistics for the synthetic profiles
 
 Examples::
 
@@ -14,16 +16,20 @@ Examples::
         --epochs 60 --checkpoint best.npz --history history.csv
     python -m repro.cli evaluate --model graphaug --dataset gowalla \
         --checkpoint best.npz
+    python -m repro.cli recommend --snapshot serve.npz --model lightgcn \
+        --dataset gowalla --users 0,1,2 --k 20 --workers 4
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import Optional
 
 from .data import PROFILES, load_profile, load_tsv
-from .eval import DEFAULT_CHUNK_SIZE, evaluate_model
+from .eval import evaluate_model
 from .models import available_models, build_model
 from .train import ModelConfig, TrainConfig, fit_model
 from .train.callbacks import (BestCheckpoint, history_to_csv, load_state)
@@ -67,10 +73,13 @@ def cmd_train(args) -> int:
     model = build_model(args.model, dataset, _model_config(args),
                         seed=args.seed)
     print(f"model:   {args.model} ({model.num_parameters():,} parameters)")
+    if args.snapshot:
+        from .serve import resolve_snapshot_path
+        args.snapshot = resolve_snapshot_path(args.snapshot)
     train_config = TrainConfig(
         epochs=args.epochs, batch_size=args.batch_size,
         eval_every=args.eval_every, learning_rate=args.lr,
-        verbose=not args.quiet)
+        snapshot_path=args.snapshot, verbose=not args.quiet)
     result = fit_model(model, dataset, train_config, seed=args.seed)
     print(f"\nbest epoch {result.best_epoch} "
           f"(train {result.train_seconds:.1f}s, "
@@ -84,6 +93,72 @@ def cmd_train(args) -> int:
     if args.history:
         history_to_csv(result, args.history)
         print(f"history    -> {args.history}")
+    if args.snapshot:
+        print(f"snapshot   -> {args.snapshot}")
+    return 0
+
+
+def cmd_recommend(args) -> int:
+    """Serve top-k recommendations from a snapshot (training if absent).
+
+    When ``--snapshot`` names an existing artifact it is served as-is —
+    no dataset load, no model training.  Otherwise a model is trained on
+    the dataset, snapshotted to that path, and served from the artifact
+    just written (so the emitted lists always come from the snapshot
+    path, proving the round trip).
+    """
+    from .serve import RecommenderService, resolve_snapshot_path
+
+    # save_snapshot always writes under .npz; resolve once so the
+    # existence check, the training write and the reload agree
+    args.snapshot = resolve_snapshot_path(args.snapshot)
+    if not os.path.exists(args.snapshot):
+        if not args.model or not args.dataset:
+            print("snapshot does not exist; --model and --dataset are "
+                  "required to train one", file=sys.stderr)
+            return 2
+        dataset = _load_dataset(args)
+        print(f"dataset:  {dataset}")
+        model = build_model(args.model, dataset, _model_config(args),
+                            seed=args.seed)
+        train_config = TrainConfig(
+            epochs=args.epochs, batch_size=args.batch_size,
+            learning_rate=args.lr, snapshot_path=args.snapshot,
+            verbose=not args.quiet)
+        result = fit_model(model, dataset, train_config, seed=args.seed)
+        print(f"trained {args.model} for {len(result.history)} epochs "
+              f"({result.train_seconds:.1f}s)")
+    service = RecommenderService.from_snapshot(args.snapshot,
+                                               num_workers=args.workers)
+    stats = service.stats()
+    print(f"serving:  {stats['model']} ({stats['backend']} backend, "
+          f"{stats['num_workers']} worker(s))")
+    if args.users:
+        import numpy as np
+        users = np.array([int(u) for u in args.users.split(",")],
+                         dtype=np.int64)
+    else:
+        users = None
+    lists = service.recommend(users, k=args.k,
+                              exclude_seen=not args.include_seen)
+    if users is None:
+        import numpy as np
+        users = np.arange(service.num_users, dtype=np.int64)
+    payload = {
+        "model": stats["model"],
+        "k": args.k,
+        "exclude_seen": not args.include_seen,
+        "recommendations": {str(int(u)): [int(i) for i in row]
+                            for u, row in zip(users, lists)},
+    }
+    text = json.dumps(payload, indent=2)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"top-{args.k} lists for {len(users)} users -> {args.output}")
+    else:
+        print(text)
+    service.close()
     return 0
 
 
@@ -101,6 +176,27 @@ def cmd_evaluate(args) -> int:
     for key, value in sorted(metrics.items()):
         print(f"  {key:12s} {value:.4f}")
     return 0
+
+
+def _add_model_args(p: argparse.ArgumentParser) -> None:
+    """Model hyperparameters shared by train / evaluate / recommend."""
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--dim", type=int, default=32)
+    p.add_argument("--layers", type=int, default=3)
+    p.add_argument("--ssl-weight", type=float, default=1.0,
+                   dest="ssl_weight")
+    p.add_argument("--temperature", type=float, default=0.5)
+    p.add_argument("--edge-threshold", type=float, default=0.2,
+                   dest="edge_threshold")
+
+
+def _add_fit_args(p: argparse.ArgumentParser) -> None:
+    """Optimization-budget flags for commands that may train."""
+    p.add_argument("--epochs", type=int, default=60)
+    p.add_argument("--batch-size", type=int, default=512,
+                   dest="batch_size")
+    p.add_argument("--lr", type=float, default=1e-3)
+    p.add_argument("--quiet", action="store_true")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -121,29 +217,49 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--dataset", required=True,
                        help="profile name (gowalla/retail_rocket/amazon) "
                             "or path to a TSV edge list")
-        p.add_argument("--seed", type=int, default=0)
-        p.add_argument("--dim", type=int, default=32)
-        p.add_argument("--layers", type=int, default=3)
-        p.add_argument("--ssl-weight", type=float, default=1.0,
-                       dest="ssl_weight")
-        p.add_argument("--temperature", type=float, default=0.5)
-        p.add_argument("--edge-threshold", type=float, default=0.2,
-                       dest="edge_threshold")
+        _add_model_args(p)
         p.add_argument("--checkpoint", default=None)
         if name == "evaluate":
             p.add_argument("--eval-chunk", type=int,
-                           default=DEFAULT_CHUNK_SIZE, dest="eval_chunk",
-                           help="users ranked per evaluation block")
+                           default=None, dest="eval_chunk",
+                           help="users ranked per evaluation block "
+                                "(default: auto-sized from the memory "
+                                "budget)")
         if name == "train":
-            p.add_argument("--epochs", type=int, default=60)
-            p.add_argument("--batch-size", type=int, default=512,
-                           dest="batch_size")
+            _add_fit_args(p)
             p.add_argument("--eval-every", type=int, default=10,
                            dest="eval_every")
-            p.add_argument("--lr", type=float, default=1e-3)
             p.add_argument("--history", default=None,
                            help="write per-epoch history CSV here")
-            p.add_argument("--quiet", action="store_true")
+            p.add_argument("--snapshot", default=None,
+                           help="write an end-of-fit serving snapshot "
+                                "(repro.serve) here")
+
+    p_rec = sub.add_parser(
+        "recommend",
+        help="serve top-k recommendations from a serving snapshot")
+    p_rec.add_argument("--snapshot", required=True,
+                       help="serving snapshot path; trained and written "
+                            "first when it does not exist yet")
+    p_rec.add_argument("--model", default=None,
+                       choices=available_models(),
+                       help="model to train when the snapshot is missing")
+    p_rec.add_argument("--dataset", default=None,
+                       help="profile name or TSV path (only needed when "
+                            "training)")
+    p_rec.add_argument("--users", default=None,
+                       help="comma-separated user ids (default: all users)")
+    p_rec.add_argument("--k", type=int, default=20)
+    p_rec.add_argument("--workers", type=int, default=1,
+                       help="shard executor thread-pool width")
+    p_rec.add_argument("--include-seen", action="store_true",
+                       dest="include_seen",
+                       help="do not mask items the user already interacted "
+                            "with")
+    p_rec.add_argument("--output", default=None,
+                       help="write the top-k JSON here instead of stdout")
+    _add_model_args(p_rec)
+    _add_fit_args(p_rec)
     return parser
 
 
@@ -151,7 +267,8 @@ def main(argv: Optional[list] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     handlers = {"models": cmd_models, "datasets": cmd_datasets,
-                "train": cmd_train, "evaluate": cmd_evaluate}
+                "train": cmd_train, "evaluate": cmd_evaluate,
+                "recommend": cmd_recommend}
     return handlers[args.command](args)
 
 

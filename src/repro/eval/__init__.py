@@ -5,7 +5,8 @@ from .metrics import (recall_at_k, ndcg_at_k, precision_at_k, hit_rate_at_k,
                       aggregate_metrics, block_hits, compute_block_metrics)
 from .protocol import (rank_items, rank_items_block, scorer_from,
                        evaluate_ranking, evaluate_scores, evaluate_model,
-                       top_k_lists, DEFAULT_CHUNK_SIZE)
+                       top_k_lists, auto_chunk_size, DEFAULT_CHUNK_SIZE,
+                       DEFAULT_CHUNK_BUDGET_BYTES)
 from .mad import mean_average_distance, neighbour_smoothness
 from .uniformity import uniformity, alignment, radial_spread, pca_projection
 from .groups import evaluate_user_groups, evaluate_item_groups
@@ -20,7 +21,8 @@ __all__ = [
     "aggregate_metrics", "block_hits", "compute_block_metrics",
     "rank_items", "rank_items_block", "scorer_from",
     "evaluate_ranking", "evaluate_scores", "evaluate_model",
-    "top_k_lists", "DEFAULT_CHUNK_SIZE",
+    "top_k_lists", "auto_chunk_size", "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_CHUNK_BUDGET_BYTES",
     "mean_average_distance", "neighbour_smoothness",
     "uniformity", "alignment", "radial_spread", "pca_projection",
     "evaluate_user_groups", "evaluate_item_groups",

@@ -29,6 +29,7 @@ chunked path is tested against (``tests/test_eval_chunked.py``).
 
 from __future__ import annotations
 
+import os
 from contextlib import nullcontext
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
@@ -38,8 +39,31 @@ import scipy.sparse as sp
 from .metrics import block_hits, compute_block_metrics
 from ..data import InteractionDataset
 
-#: default number of users scored per evaluation block
+#: legacy fixed block size; still the floor-of-last-resort when a score
+#: source gives no way to infer ``num_items``
 DEFAULT_CHUNK_SIZE = 1024
+
+#: default peak-score-memory budget for auto-sized chunks (bytes); the
+#: ``REPRO_CHUNK_BUDGET_BYTES`` environment variable overrides it
+DEFAULT_CHUNK_BUDGET_BYTES = 64 * 1024 * 1024
+
+
+def auto_chunk_size(num_items: int, itemsize: int = 8,
+                    budget_bytes: Optional[int] = None) -> int:
+    """Users per block so one score block fits a memory budget.
+
+    ``chunk = budget_bytes / (num_items * itemsize)``: one block of
+    ``chunk x num_items`` scores at ``itemsize`` bytes per score stays
+    under ``budget_bytes`` (default :data:`DEFAULT_CHUNK_BUDGET_BYTES`,
+    overridable via the ``REPRO_CHUNK_BUDGET_BYTES`` environment
+    variable).  Both the chunked evaluator (``chunk_size=None``) and the
+    serving shard executor (:mod:`repro.serve.sharding`) size their user
+    blocks through this.
+    """
+    if budget_bytes is None:
+        budget_bytes = int(os.environ.get("REPRO_CHUNK_BUDGET_BYTES",
+                                          DEFAULT_CHUNK_BUDGET_BYTES))
+    return max(1, int(budget_bytes) // max(1, int(num_items) * int(itemsize)))
 
 
 # --------------------------------------------------------------------- #
@@ -105,7 +129,7 @@ def _csr_rows_concat(matrix: sp.csr_matrix,
 
 
 def rank_items_block(scores_block: np.ndarray, train_matrix,
-                     user_ids: np.ndarray,
+                     user_ids: Optional[np.ndarray] = None,
                      k: Optional[int] = None) -> np.ndarray:
     """Top-``k`` ranked item ids for a block of users, train masked.
 
@@ -115,14 +139,20 @@ def rank_items_block(scores_block: np.ndarray, train_matrix,
 
     ``scores_block`` is already sliced to the chunk — row ``i`` holds the
     scores of ``user_ids[i]``; ``user_ids`` only selects the train rows
-    to mask.
+    to mask.  ``train_matrix=None`` skips masking entirely (the serving
+    tier's ``exclude_seen=False`` path), in which case ``user_ids`` may
+    be omitted.
     """
     block = np.array(scores_block, copy=True)
-    user_ids = np.asarray(user_ids, dtype=np.int64)
-    cols, counts = _csr_rows_concat(train_matrix, user_ids)
-    if cols.size:
-        rows = np.repeat(np.arange(len(user_ids)), counts)
-        block[rows, cols] = -np.inf
+    if train_matrix is not None:
+        if user_ids is None:
+            raise ValueError("user_ids is required when masking against "
+                             "a train matrix")
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        cols, counts = _csr_rows_concat(train_matrix, user_ids)
+        if cols.size:
+            rows = np.repeat(np.arange(len(user_ids)), counts)
+            block[rows, cols] = -np.inf
     num_items = block.shape[1]
     if k is None or k >= num_items:
         return np.argsort(-block, kind="stable", axis=1)
@@ -165,7 +195,8 @@ def evaluate_ranking(scorer: Callable[[np.ndarray], np.ndarray],
         test positives to the item bucket).
     chunk_size:
         Users ranked per block; bounds peak score memory at
-        ``chunk_size x num_items``.
+        ``chunk_size x num_items``.  ``None`` auto-sizes from the memory
+        budget via :func:`auto_chunk_size`.
     """
     test = _sorted_csr(dataset.test_matrix if test_matrix is None
                        else test_matrix)
@@ -178,7 +209,7 @@ def evaluate_ranking(scorer: Callable[[np.ndarray], np.ndarray],
     if len(users) == 0:
         return {}
     if chunk_size is None:
-        chunk_size = DEFAULT_CHUNK_SIZE
+        chunk_size = auto_chunk_size(test.shape[1])
     chunk_size = max(1, int(chunk_size))
     max_k = max(ks)
     train = dataset.train.matrix
@@ -202,14 +233,15 @@ def top_k_lists(source, dataset: InteractionDataset, k: int,
     """``(len(users), k)`` recommended item ids, train positives masked.
 
     ``source`` is anything :func:`scorer_from` accepts; defaults to all
-    users.  Requires ``k <= num_items``.
+    users.  Requires ``k <= num_items``.  ``chunk_size=None`` auto-sizes
+    from the memory budget via :func:`auto_chunk_size`.
     """
     if users is None:
         users = np.arange(dataset.num_users, dtype=np.int64)
     else:
         users = np.asarray(users, dtype=np.int64)
     if chunk_size is None:
-        chunk_size = DEFAULT_CHUNK_SIZE
+        chunk_size = auto_chunk_size(dataset.num_items)
     chunk_size = max(1, int(chunk_size))
     scorer, context = scorer_from(source)
     lists = np.empty((len(users), k), dtype=np.int64)

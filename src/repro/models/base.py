@@ -30,6 +30,26 @@ x num_items`` instead of the all-pairs matrix:
   ``propagate()`` across repeated ``score_users`` calls; evaluators hold
   it open for the duration of one evaluation pass.  Outside the context
   every call re-propagates, so training never sees stale embeddings.
+
+Snapshot / serving state contract
+---------------------------------
+The serving tier (:mod:`repro.serve`) persists and restores models
+without their training pipeline.  Three guarantees make that possible:
+
+* ``propagate()`` (and therefore ``score_users``) is **deterministic
+  given the parameters and the training graph** — structural randomness
+  (augmented views, noise propagations, EM steps) lives in ``loss`` /
+  ``on_epoch_start`` only.  A model rebuilt from the registry with the
+  same dataset graph, ``state_dict`` and parameter dtype reproduces its
+  inference scores bit-for-bit.
+* ``self.seed`` records the construction seed, so registry round-trips
+  rebuild construction-time structural state (e.g. GraphAug's candidate
+  edge set) identically.
+* ``serving_embeddings()`` returns the propagated ``(user, item)``
+  arrays when ``score_users`` is the inherited embedding dot product —
+  a complete, model-free serving state — and ``None`` for models with a
+  custom scorer (``ncf``, ``autorec``, ``biasmf``), which serving
+  restores through the registry and drives via ``score_users``.
 """
 
 from __future__ import annotations
@@ -58,6 +78,7 @@ class Recommender(Module):
         super().__init__()
         self.dataset = dataset
         self.config = config or ModelConfig()
+        self.seed = seed
         self.num_users = dataset.num_users
         self.num_items = dataset.num_items
         # independent generators: parameter init / structural sampling
@@ -121,6 +142,22 @@ class Recommender(Module):
         if user_ids is None:
             return users @ items.T
         return users[np.asarray(user_ids, dtype=np.int64)] @ items.T
+
+    def serving_embeddings(self) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Propagated ``(user, item)`` arrays iff they fully determine scores.
+
+        Part of the snapshot/serving contract (module docstring): when
+        ``score_users`` is the inherited embedding dot product, the final
+        propagated arrays are a complete serving state — a snapshot can
+        score from them without rebuilding the model.  Models overriding
+        ``score_users`` with a non-dot scorer return ``None`` here (the
+        default below detects the override), and the serving tier falls
+        back to a registry-restored live model.
+        """
+        if type(self).score_users is not Recommender.score_users:
+            return None
+        users, items = self._final_embeddings()
+        return users.copy(), items.copy()
 
     def score_all_users(self) -> np.ndarray:
         """Dense preference scores for every user-item pair.

@@ -47,16 +47,73 @@ class NCF(Recommender):
         return (F.bpr_loss(pos_scores, neg_scores)
                 + self.embedding_reg(users, pos, neg))
 
+    #: upper bound on (user, item) pairs alive per scoring slice; bounds
+    #: the MLP's peak hidden-activation memory during chunked inference
+    score_pair_budget = 1 << 14
+
     def score_users(self, user_ids=None) -> np.ndarray:
-        """Score a user block row-by-row (the MLP scores pairs, not dots)."""
+        """Score a user block with whole-chunk batched pair construction.
+
+        The MLP scores (user, item) *pairs*, not embedding dots, so a
+        block is the cross product ``user_ids x all items``.  Instead of
+        materializing every pair's concatenated input (the former
+        one-user-per-MLP-call loop did this implicitly, row by row), the
+        first MLP layer is factorized::
+
+            relu([u, i] @ W0 + b0) == relu(u @ W0_user + i @ W0_item + b0)
+
+        so the user and item projections are each computed **once** per
+        chunk and combined by a broadcast add; later layers run on the
+        flattened pair activations.  The GMF branch never builds pairs at
+        all: fusing it with the final linear scorer reduces it to one
+        ``(users * w_gmf) @ item_emb.T`` GEMM.  Slices of
+        ``score_pair_budget`` pairs bound peak activation memory.
+
+        The math is identical to ``_pair_scores`` (which training still
+        uses); only the evaluation order differs, so scores agree to
+        float rounding.
+        """
         if user_ids is None:
             user_ids = np.arange(self.num_users, dtype=np.int64)
         else:
             user_ids = np.asarray(user_ids, dtype=np.int64)
+        num_items = self.num_items
         with no_grad():
-            out = np.empty((len(user_ids), self.num_items))
-            all_items = np.arange(self.num_items)
-            for row, user in enumerate(user_ids):
-                users = np.full(self.num_items, user, dtype=np.int64)
-                out[row] = self._pair_scores(users, all_items).data
+            dim = self.item_emb.weight.data.shape[1]
+            fuse_w = self.scorer.weight.data          # (2*dim, 1)
+            fuse_b = self.scorer.bias.data            # (1,)
+            w_gmf, w_mlp = fuse_w[:dim, 0], fuse_w[dim:, 0]
+            linears = self.mlp._linears
+            W0 = linears[0].weight.data               # (2*dim, hidden)
+            b0 = linears[0].bias.data
+            mlp_dim = self.mlp_user_emb.weight.data.shape[1]
+            # per-chunk user / per-catalog item first-layer projections
+            user_proj = self.mlp_user_emb.weight.data[user_ids] @ W0[:mlp_dim]
+            item_proj = self.mlp_item_emb.weight.data @ W0[mlp_dim:]
+            # GMF ⊕ scorer fused into one GEMM over the block
+            gmf_scores = ((self.user_emb.weight.data[user_ids] * w_gmf)
+                          @ self.item_emb.weight.data.T)
+            out = np.empty((len(user_ids), num_items), dtype=gmf_scores.dtype)
+            rows_per_slice = max(1, self.score_pair_budget
+                                 // max(1, num_items))
+            for start in range(0, len(user_ids), rows_per_slice):
+                stop = min(start + rows_per_slice, len(user_ids))
+                # (rows, num_items, hidden) broadcast of the factorized
+                # first layer; relu matches the MLP's fixed activation
+                x = np.maximum(user_proj[start:stop, None, :]
+                               + item_proj[None, :, :] + b0, 0.0)
+                x = x.reshape(-1, x.shape[-1])
+                for layer in linears[1:-1]:
+                    x = x @ layer.weight.data + layer.bias.data
+                    np.maximum(x, 0.0, out=x)
+                # the last linear feeds straight into the w_mlp dot (no
+                # activation in between), so fold them into one GEMV:
+                # (x @ W + b) @ w == x @ (W @ w) + b @ w
+                last = linears[-1]
+                mlp_scores = (x @ (last.weight.data @ w_mlp)
+                              + last.bias.data @ w_mlp)
+                out[start:stop] = (gmf_scores[start:stop]
+                                   + mlp_scores.reshape(stop - start,
+                                                        num_items)
+                                   + fuse_b[0])
             return out

@@ -1,0 +1,292 @@
+"""The online recommendation service.
+
+:class:`RecommenderService` answers ``recommend(user_ids, k)`` requests
+over a trained model's state through the same block-ranking kernel the
+chunked evaluator uses (:func:`repro.eval.rank_items_block`), so a
+service answer over a snapshot reproduces ``top_k_lists`` of the live
+model exactly.
+
+Two scoring backends (picked automatically):
+
+* **embeddings** — the propagated user/item arrays (from a live model's
+  ``serving_embeddings()`` or a snapshot).  Scoring a request block is
+  one GEMM against the cached arrays; no model object is needed.
+* **model** — models whose scores are not an embedding dot product
+  (``ncf``, ``autorec``, ``biasmf``) are driven through their
+  ``score_users`` contract, with ``inference_cache()`` held open per
+  request batch.  Model scoring is serialized across shard threads (it
+  toggles the process-global autograd mode); only the embeddings
+  backend scores shards concurrently, though masking/top-k of other
+  shards still overlaps model scoring.
+
+Requests are partitioned into user-id shards by a
+:class:`~repro.serve.sharding.ShardedExecutor` and served concurrently;
+shard boundaries do not depend on worker count, so the N-worker path is
+bit-identical to the single-worker path.
+
+``partial_update(users, items)`` folds new interactions in without a
+retrain: the seen-item exclusion CSR always absorbs the new edges (so
+just-consumed items stop being recommended immediately), and on the
+embeddings backend each affected user's cached vector is refreshed by a
+degree-weighted fold-in toward their new items' vectors::
+
+    u  <-  (deg(u) * u + sum_j q_j) / (deg(u) + |new items|)
+
+— the online approximation of the MF view in which a user's vector
+aggregates their items.  It is an approximation by design; the exact
+refresh is retraining and re-snapshotting.  On the model backend only
+the exclusion CSR changes (the model's training-graph state is not
+mutated).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import nullcontext
+from typing import Dict, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from .sharding import ShardedExecutor
+from .snapshot import Snapshot, load_snapshot
+from ..data import InteractionDataset
+from ..eval import rank_items_block
+
+
+class RecommenderService:
+    """Serve top-k recommendations from a model or a snapshot.
+
+    Build one with :meth:`from_model` (a live, possibly just-trained
+    model) or :meth:`from_snapshot` (a :func:`repro.serve.save_snapshot`
+    artifact); the direct constructor is the embedding-backend plumbing
+    both factories share.
+    """
+
+    def __init__(self, *, num_users: int, num_items: int,
+                 exclusion: sp.csr_matrix,
+                 user_embeddings: Optional[np.ndarray] = None,
+                 item_embeddings: Optional[np.ndarray] = None,
+                 model=None, model_name: str = "unknown",
+                 num_workers: int = 1,
+                 chunk_size: Optional[int] = None):
+        if (user_embeddings is None) != (item_embeddings is None):
+            raise ValueError("user and item embeddings must be given "
+                             "together")
+        if user_embeddings is None and model is None:
+            raise ValueError("need either cached embeddings or a model "
+                             "to score with")
+        self.num_users = int(num_users)
+        self.num_items = int(num_items)
+        self.model_name = model_name
+        self._user_emb = user_embeddings
+        self._item_emb = item_embeddings
+        self._model = model
+        exclusion = sp.csr_matrix(exclusion, copy=True)
+        if exclusion.shape != (self.num_users, self.num_items):
+            raise ValueError(f"exclusion matrix shape {exclusion.shape} "
+                             f"does not match ({num_users}, {num_items})")
+        exclusion.sort_indices()
+        self._exclusion = exclusion
+        self._executor = ShardedExecutor(num_workers=num_workers,
+                                         chunk_size=chunk_size)
+        self._update_lock = threading.Lock()
+        # model-backend scoring is serialized: score_users toggles the
+        # process-global autograd mode (no_grad), which is not safe to
+        # enter from several shard threads at once; masking and top-k of
+        # other shards still overlap with it
+        self._model_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_model(cls, model, dataset: InteractionDataset,
+                   num_workers: int = 1,
+                   chunk_size: Optional[int] = None) -> "RecommenderService":
+        """Serve a live model; ``dataset.train`` seeds the exclusion CSR.
+
+        Models under the embedding-dot contract are frozen into cached
+        arrays immediately (the model object is not retained); custom
+        scorers keep the model and go through ``score_users``.
+        """
+        embeddings = model.serving_embeddings()
+        users, items = (None, None) if embeddings is None else embeddings
+        return cls(num_users=dataset.num_users,
+                   num_items=dataset.num_items,
+                   exclusion=dataset.train.matrix,
+                   user_embeddings=users, item_embeddings=items,
+                   model=None if embeddings is not None else model,
+                   model_name=getattr(model, "name", type(model).__name__),
+                   num_workers=num_workers, chunk_size=chunk_size)
+
+    @classmethod
+    def from_snapshot(cls, snapshot, num_workers: int = 1,
+                      chunk_size: Optional[int] = None
+                      ) -> "RecommenderService":
+        """Serve a snapshot (path or :class:`Snapshot`).
+
+        Snapshots carrying propagated embeddings are served from the
+        arrays alone; others take the registry round-trip
+        (:meth:`Snapshot.build_model`) and serve the restored model.
+        """
+        if not isinstance(snapshot, Snapshot):
+            snapshot = load_snapshot(snapshot)
+        model = None if snapshot.has_embeddings else snapshot.build_model()
+        return cls(num_users=snapshot.num_users,
+                   num_items=snapshot.num_items,
+                   exclusion=snapshot.train_matrix,
+                   user_embeddings=snapshot.user_embeddings,
+                   item_embeddings=snapshot.item_embeddings,
+                   model=model, model_name=snapshot.model_name,
+                   num_workers=num_workers, chunk_size=chunk_size)
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+    @property
+    def backend(self) -> str:
+        """``"embeddings"`` or ``"model"`` (see the module docstring)."""
+        return "embeddings" if self._user_emb is not None else "model"
+
+    def recommend(self, user_ids: Optional[np.ndarray] = None, k: int = 20,
+                  exclude_seen: bool = True) -> np.ndarray:
+        """``(len(user_ids), k)`` recommended item ids, best first.
+
+        ``user_ids=None`` serves every user.  With ``exclude_seen`` (the
+        default) each user's train-positive items — including any folded
+        in by :meth:`partial_update` — are masked out before ranking.
+        """
+        if user_ids is None:
+            user_ids = np.arange(self.num_users, dtype=np.int64)
+        else:
+            user_ids = np.asarray(user_ids, dtype=np.int64)
+        if len(user_ids) and (user_ids.min() < 0
+                              or user_ids.max() >= self.num_users):
+            raise ValueError("user id out of range")
+        if not 1 <= k <= self.num_items:
+            raise ValueError(f"k must be in [1, {self.num_items}], got {k}")
+        # capture one consistent state generation for the whole request:
+        # a partial_update landing mid-request must not mix old and new
+        # embeddings/masks across this request's shards (the lock pairs
+        # the exclusion CSR with its matching embedding generation)
+        with self._update_lock:
+            exclusion = self._exclusion if exclude_seen else None
+            user_emb, item_emb = self._user_emb, self._item_emb
+
+        def shard_fn(chunk: np.ndarray) -> np.ndarray:
+            if user_emb is not None:
+                scores = user_emb[chunk] @ item_emb.T
+            else:
+                with self._model_lock:
+                    scores = self._model.score_users(chunk)
+            return rank_items_block(scores, exclusion, chunk, k=k)
+
+        itemsize = user_emb.dtype.itemsize if user_emb is not None else 8
+        cache = (self._model.inference_cache()
+                 if self._model is not None
+                 and hasattr(self._model, "inference_cache")
+                 else nullcontext())
+        with cache:
+            blocks = self._executor.map_chunks(shard_fn, user_ids,
+                                               self.num_items,
+                                               itemsize=itemsize)
+        if not blocks:
+            return np.empty((0, k), dtype=np.int64)
+        return np.concatenate(blocks, axis=0)
+
+    # ------------------------------------------------------------------ #
+    # incremental updates
+    # ------------------------------------------------------------------ #
+    def partial_update(self, users: np.ndarray, items: np.ndarray,
+                       refresh_embeddings: bool = True) -> Dict[str, int]:
+        """Fold new ``(user, item)`` interactions into the service.
+
+        Always extends the seen-item exclusion CSR (idempotently — edges
+        already known are no-ops); on the embeddings backend the affected
+        users' cached vectors are additionally refreshed by the
+        degree-weighted fold-in described in the module docstring (skip
+        with ``refresh_embeddings=False``).
+
+        Returns ``{"new_edges": ..., "refreshed_users": ...}``.
+        """
+        users = np.atleast_1d(np.asarray(users, dtype=np.int64))
+        items = np.atleast_1d(np.asarray(items, dtype=np.int64))
+        if users.shape != items.shape:
+            raise ValueError("users and items must have the same length")
+        if len(users) == 0:
+            return {"new_edges": 0, "refreshed_users": 0}
+        if users.min() < 0 or users.max() >= self.num_users:
+            raise ValueError("user id out of range")
+        if items.min() < 0 or items.max() >= self.num_items:
+            raise ValueError("item id out of range")
+
+        with self._update_lock:
+            old = self._exclusion
+            known = np.asarray(old[users, items]).ravel() != 0
+            users, items = users[~known], items[~known]
+            # dedupe repeats within this batch
+            if len(users):
+                keys = users * self.num_items + items
+                _, first = np.unique(keys, return_index=True)
+                users, items = users[np.sort(first)], items[np.sort(first)]
+            if len(users) == 0:
+                return {"new_edges": 0, "refreshed_users": 0}
+
+            refreshed = 0
+            if self._user_emb is not None and refresh_embeddings:
+                degrees = np.diff(old.indptr)
+                affected, inverse = np.unique(users, return_inverse=True)
+                dim = self._item_emb.shape[1]
+                sums = np.zeros((len(affected), dim),
+                                dtype=self._item_emb.dtype)
+                np.add.at(sums, inverse, self._item_emb[items])
+                counts = np.bincount(inverse,
+                                     minlength=len(affected)).astype(
+                                         self._user_emb.dtype)
+                deg = degrees[affected].astype(self._user_emb.dtype)
+                old_vecs = self._user_emb[affected]
+                self._user_emb = self._user_emb.copy()
+                self._user_emb[affected] = ((deg[:, None] * old_vecs + sums)
+                                            / (deg + counts)[:, None])
+                refreshed = len(affected)
+
+            extra = sp.csr_matrix(
+                (np.ones(len(users)), (users, items)),
+                shape=(self.num_users, self.num_items))
+            updated = (old + extra).tocsr()
+            updated.data = np.ones_like(updated.data)
+            updated.sort_indices()
+            self._exclusion = updated
+            return {"new_edges": len(users), "refreshed_users": refreshed}
+
+    # ------------------------------------------------------------------ #
+    def seen_items_of(self, user: int) -> np.ndarray:
+        """Current exclusion-list item ids for one user."""
+        start, stop = self._exclusion.indptr[user:user + 2]
+        return self._exclusion.indices[start:stop].copy()
+
+    def stats(self) -> Dict[str, object]:
+        """Operational summary (CLI / monitoring)."""
+        return {
+            "model": self.model_name,
+            "backend": self.backend,
+            "num_users": self.num_users,
+            "num_items": self.num_items,
+            "seen_interactions": int(self._exclusion.nnz),
+            "num_workers": self._executor.num_workers,
+            "chunk_size": self._executor.resolve_chunk_size(
+                self.num_items,
+                itemsize=(self._user_emb.dtype.itemsize
+                          if self._user_emb is not None else 8)),
+        }
+
+    def close(self) -> None:
+        """Release the shard executor's thread pool."""
+        self._executor.close()
+
+    def __enter__(self) -> "RecommenderService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

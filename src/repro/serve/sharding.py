@@ -1,0 +1,115 @@
+"""The sharded request executor: a worker pool over user-id chunks.
+
+The chunked scoring contract (``scorer(user_ids) -> (len(user_ids),
+num_items)``) makes a block of request users the natural shard unit —
+the same unit the chunked evaluator ranks in.  :class:`ShardedExecutor`
+partitions a request's user ids into contiguous chunks and maps a shard
+function over them, either inline (``num_workers=1``) or on a persistent
+thread pool.  Chunk boundaries are **identical regardless of worker
+count**, and results are reassembled in request order, so the N-worker
+path returns exactly what the single-worker path returns.
+
+Threads (not processes) are the right pool here: the shard work is
+numpy scoring / masking / top-k, which releases the GIL inside BLAS and
+the C ufunc loops, and the cached embedding arrays are shared read-only
+without pickling.
+
+Chunk sizing defaults to the same memory-budget rule the evaluator uses
+(:func:`repro.eval.auto_chunk_size`): ``chunk = budget_bytes /
+(num_items * itemsize)``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..eval import auto_chunk_size
+
+
+class ShardedExecutor:
+    """Map a shard function over user-id chunks, optionally in parallel.
+
+    Parameters
+    ----------
+    num_workers:
+        Thread-pool width; ``1`` (the default) runs shards inline with
+        zero pool overhead.
+    chunk_size:
+        Users per shard.  ``None`` auto-sizes from the memory budget via
+        :func:`repro.eval.auto_chunk_size` at call time (when the item
+        count is known).
+    """
+
+    def __init__(self, num_workers: int = 1,
+                 chunk_size: Optional[int] = None):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = int(num_workers)
+        self.chunk_size = chunk_size
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------------ #
+    def resolve_chunk_size(self, num_items: int, itemsize: int = 8) -> int:
+        """The shard width used for a catalog of ``num_items`` items."""
+        if self.chunk_size is not None:
+            return max(1, int(self.chunk_size))
+        return auto_chunk_size(num_items, itemsize=itemsize)
+
+    def shard(self, user_ids: np.ndarray, num_items: int,
+              itemsize: int = 8) -> List[np.ndarray]:
+        """Partition ``user_ids`` into contiguous chunks (request order)."""
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        chunk = self.resolve_chunk_size(num_items, itemsize=itemsize)
+        return [user_ids[start:start + chunk]
+                for start in range(0, len(user_ids), chunk)]
+
+    def map_chunks(self, fn: Callable[[np.ndarray], np.ndarray],
+                   user_ids: np.ndarray, num_items: int,
+                   itemsize: int = 8) -> List[np.ndarray]:
+        """``[fn(chunk) for chunk in shards]``, possibly concurrently.
+
+        Results come back in shard order; with ``num_workers == 1`` (or a
+        single shard) everything runs inline on the calling thread.
+        """
+        chunks = self.shard(user_ids, num_items, itemsize=itemsize)
+        if self.num_workers == 1 or len(chunks) <= 1:
+            return [fn(chunk) for chunk in chunks]
+        return list(self._ensure_pool().map(fn, chunks))
+
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.num_workers,
+                thread_name_prefix="repro-serve")
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent); the executor stays usable."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardedExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def partition_users(user_ids: Sequence[int], num_shards: int
+                    ) -> List[np.ndarray]:
+    """Split ``user_ids`` into ``num_shards`` near-equal contiguous shards.
+
+    A convenience for offline fan-out (e.g. precomputing recommendation
+    lists shard-by-shard); online serving uses the memory-budget chunks
+    of :class:`ShardedExecutor` instead.
+    """
+    user_ids = np.asarray(user_ids, dtype=np.int64)
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    return [shard for shard in np.array_split(user_ids, num_shards)
+            if len(shard)]

@@ -1,0 +1,188 @@
+"""Serving snapshots: persist a trained recommender, restore it without
+its training pipeline.
+
+One snapshot is a single compressed ``.npz`` artifact whose entries are
+
+* ``meta_json`` — a JSON document (stored as a zero-dim string array)
+  with the schema id, model registry name, :class:`ModelConfig` fields,
+  construction seed, parameter dtype, matrix shape and dataset name;
+* ``param::<name>`` — every ``state_dict`` array of the model;
+* ``train_indptr`` / ``train_indices`` — the train-positive CSR used for
+  seen-item exclusion (and to rebuild the model's graph on restore);
+* ``user_embeddings`` / ``item_embeddings`` — the final propagated
+  arrays, present iff the model's scores are their dot product
+  (``serving_embeddings()`` of the snapshot contract in
+  :mod:`repro.models.base`).
+
+Restore paths, in order of preference:
+
+1. **embedding-only** — when the propagated arrays are present, a
+   :class:`~repro.serve.service.RecommenderService` scores straight from
+   them; no model object, no ``repro.models`` import, no propagation.
+2. **registry round-trip** — :meth:`Snapshot.build_model` rebuilds the
+   model from the registry under the saved dtype and seed, reconstructs
+   its dataset from the stored CSR and loads the parameters; inference
+   is bit-identical to the live model because ``propagate`` is
+   deterministic given parameters and graph (the base-class contract).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import Dict, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..data import InteractionDataset
+from ..graph import InteractionGraph
+from ..train.config import ModelConfig
+
+#: schema id embedded in every snapshot's ``meta_json``
+SNAPSHOT_SCHEMA = "repro-serve-snapshot/v1"
+
+_PARAM_PREFIX = "param::"
+
+
+def _config_to_dict(config: ModelConfig) -> Dict:
+    return {f.name: (list(v) if isinstance(v := getattr(config, f.name),
+                                           tuple) else v)
+            for f in fields(config)}
+
+
+def _config_from_dict(payload: Dict) -> ModelConfig:
+    known = {f.name for f in fields(ModelConfig)}
+    kwargs = {k: (tuple(v) if isinstance(v, list) else v)
+              for k, v in payload.items() if k in known}
+    return ModelConfig(**kwargs)
+
+
+def resolve_snapshot_path(path: str) -> str:
+    """The on-disk name :func:`save_snapshot` will write ``path`` under.
+
+    Snapshots always carry the ``.npz`` extension; callers that accept a
+    user-supplied path (the CLI, the Trainer) resolve through this so
+    existence checks and reloads name the same file the save did.
+    """
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def save_snapshot(model, dataset: InteractionDataset, path: str) -> str:
+    """Persist ``model`` (trained on ``dataset``) as one ``.npz`` artifact.
+
+    See the module docstring for the artifact layout.  Returns the path
+    written (``.npz`` appended when missing).
+    """
+    state = model.state_dict()
+    try:
+        dtype = next(iter(state.values())).dtype
+    except StopIteration:
+        dtype = np.dtype(np.float64)
+    train = dataset.train.matrix
+    if not train.has_sorted_indices:
+        train = train.copy()
+        train.sort_indices()
+    meta = {
+        "schema": SNAPSHOT_SCHEMA,
+        "model": getattr(model, "name", type(model).__name__),
+        "config": _config_to_dict(model.config),
+        "seed": int(getattr(model, "seed", 0)),
+        "dtype": np.dtype(dtype).name,
+        "num_users": int(dataset.num_users),
+        "num_items": int(dataset.num_items),
+        "dataset": dataset.name,
+    }
+    arrays = {"meta_json": np.array(json.dumps(meta)),
+              "train_indptr": train.indptr.astype(np.int64),
+              "train_indices": train.indices.astype(np.int64)}
+    for name, value in state.items():
+        arrays[_PARAM_PREFIX + name] = value
+    embeddings = model.serving_embeddings()
+    if embeddings is not None:
+        arrays["user_embeddings"], arrays["item_embeddings"] = embeddings
+    path = resolve_snapshot_path(path)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+@dataclass
+class Snapshot:
+    """A loaded serving snapshot (see the module docstring for layout)."""
+
+    meta: Dict
+    state: Dict[str, np.ndarray]
+    train_matrix: sp.csr_matrix
+    user_embeddings: Optional[np.ndarray] = None
+    item_embeddings: Optional[np.ndarray] = None
+
+    @property
+    def model_name(self) -> str:
+        return self.meta["model"]
+
+    @property
+    def num_users(self) -> int:
+        return int(self.meta["num_users"])
+
+    @property
+    def num_items(self) -> int:
+        return int(self.meta["num_items"])
+
+    @property
+    def has_embeddings(self) -> bool:
+        return self.user_embeddings is not None
+
+    def build_dataset(self) -> InteractionDataset:
+        """Reconstruct the training-graph dataset (empty test split)."""
+        empty_test = sp.csr_matrix((self.num_users, self.num_items))
+        return InteractionDataset(
+            name=self.meta.get("dataset", "snapshot"),
+            train=InteractionGraph(self.train_matrix),
+            test_matrix=empty_test)
+
+    def build_model(self, dataset: Optional[InteractionDataset] = None):
+        """Registry round-trip: rebuild the live model and load its state.
+
+        The model is constructed under the snapshot's parameter dtype and
+        seed so construction-time structural state (e.g. GraphAug's
+        candidate edges) and inference arithmetic match the saved model
+        exactly.
+        """
+        # imported here so embedding-only serving never pulls in the zoo
+        from ..autograd import default_dtype
+        from ..models import build_model
+
+        if dataset is None:
+            dataset = self.build_dataset()
+        config = _config_from_dict(self.meta.get("config", {}))
+        with default_dtype(self.meta.get("dtype", "float64")):
+            model = build_model(self.model_name, dataset, config,
+                                seed=int(self.meta.get("seed", 0)))
+        model.load_state_dict(self.state)
+        return model
+
+
+def load_snapshot(path: str) -> Snapshot:
+    """Load a :func:`save_snapshot` artifact back into a :class:`Snapshot`."""
+    with np.load(path, allow_pickle=False) as blob:
+        if "meta_json" not in blob.files:
+            raise ValueError(f"{path} is not a serving snapshot "
+                             "(missing meta_json)")
+        meta = json.loads(str(blob["meta_json"]))
+        if meta.get("schema") != SNAPSHOT_SCHEMA:
+            raise ValueError(f"unsupported snapshot schema "
+                             f"{meta.get('schema')!r} in {path} "
+                             f"(expected {SNAPSHOT_SCHEMA})")
+        state = {name[len(_PARAM_PREFIX):]: blob[name]
+                 for name in blob.files if name.startswith(_PARAM_PREFIX)}
+        shape = (int(meta["num_users"]), int(meta["num_items"]))
+        indptr = blob["train_indptr"]
+        indices = blob["train_indices"]
+        train = sp.csr_matrix(
+            (np.ones(len(indices)), indices, indptr), shape=shape)
+        user_emb = (blob["user_embeddings"]
+                    if "user_embeddings" in blob.files else None)
+        item_emb = (blob["item_embeddings"]
+                    if "item_embeddings" in blob.files else None)
+    return Snapshot(meta=meta, state=state, train_matrix=train,
+                    user_embeddings=user_emb, item_embeddings=item_emb)

@@ -2,10 +2,10 @@
 
 from .config import ModelConfig, TrainConfig, fast_test_configs
 from .trainer import Trainer, FitResult, EpochRecord, fit_model
-from .callbacks import (BestCheckpoint, save_state, load_state,
-                        history_to_csv, history_to_json)
+from .callbacks import (BestCheckpoint, ServingSnapshot, save_state,
+                        load_state, history_to_csv, history_to_json)
 
 __all__ = ["ModelConfig", "TrainConfig", "fast_test_configs",
            "Trainer", "FitResult", "EpochRecord", "fit_model",
-           "BestCheckpoint", "save_state", "load_state",
+           "BestCheckpoint", "ServingSnapshot", "save_state", "load_state",
            "history_to_csv", "history_to_json"]

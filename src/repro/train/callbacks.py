@@ -53,6 +53,27 @@ class BestCheckpoint:
         model.load_state_dict(self._state)
 
 
+class ServingSnapshot:
+    """End-of-fit callback: persist a serving snapshot (:mod:`repro.serve`).
+
+    Unlike :class:`BestCheckpoint` (bare parameters, reloaded through the
+    same training setup), a serving snapshot is self-contained: it also
+    carries the train-positive CSR and, for embedding-scored models, the
+    propagated arrays, so ``RecommenderService.from_snapshot`` can answer
+    recommendations without any training code.  The Trainer invokes this
+    automatically when ``TrainConfig.snapshot_path`` is set.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.written: Optional[str] = None
+
+    def __call__(self, model, dataset) -> str:
+        from ..serve import save_snapshot  # deferred: serve is optional here
+        self.written = save_snapshot(model, dataset, self.path)
+        return self.written
+
+
 def save_state(state: Dict[str, np.ndarray], path: str) -> None:
     """Persist a ``state_dict`` to a compressed NPZ file."""
     np.savez_compressed(path, **{_escape(k): v for k, v in state.items()})

@@ -10,7 +10,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence, Tuple
 
-from ..eval.protocol import DEFAULT_CHUNK_SIZE
+from ..eval.protocol import DEFAULT_CHUNK_SIZE  # noqa: F401 (re-export;
+                                                # kept for callers that
+                                                # pin the legacy block)
 
 
 @dataclass
@@ -56,9 +58,15 @@ class TrainConfig:
     eval_every: int = 5                       # epochs between evaluations
     eval_ks: Sequence[int] = (20, 40)
     eval_metrics: Sequence[str] = ("recall", "ndcg")
-    eval_chunk_size: int = DEFAULT_CHUNK_SIZE  # users ranked per eval
+    eval_chunk_size: Optional[int] = None     # users ranked per eval
                                               # block; bounds eval memory
-                                              # at chunk x num_items scores
+                                              # at chunk x num_items scores.
+                                              # None auto-sizes from the
+                                              # memory budget (see
+                                              # eval.auto_chunk_size)
+    snapshot_path: Optional[str] = None       # write a serving snapshot
+                                              # (repro.serve) of the final
+                                              # parameters here after fit
     early_stop_patience: Optional[int] = None  # evals w/o improvement
     early_stop_metric: str = "recall@20"
     verbose: bool = False

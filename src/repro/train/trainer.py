@@ -78,6 +78,10 @@ class Trainer:
     (:func:`repro.eval.evaluate_model`), so the trainer never allocates
     the dense ``(num_users, num_items)`` score matrix; its wall-clock is
     recorded in ``FitResult.eval_seconds``.
+
+    When ``TrainConfig.snapshot_path`` is set, the final parameters are
+    persisted as a serving snapshot (:mod:`repro.serve`) after the last
+    epoch, ready for ``RecommenderService.from_snapshot``.
     """
 
     def __init__(self, model, dataset: InteractionDataset,
@@ -165,6 +169,10 @@ class Trainer:
                     metrics=cfg.eval_metrics,
                     chunk_size=cfg.eval_chunk_size)
             best_epoch = history[-1].epoch
+        if cfg.snapshot_path:
+            # end-of-fit serving snapshot of the final parameters
+            from .callbacks import ServingSnapshot
+            ServingSnapshot(cfg.snapshot_path)(self.model, self.dataset)
         return FitResult(history=history, best_metrics=best_metrics,
                          best_epoch=best_epoch, train_seconds=timer.total,
                          sampler_seconds=sampler_timer.total,

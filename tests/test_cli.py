@@ -59,3 +59,57 @@ class TestTrainEvaluate:
                      "--dim", "8", "--checkpoint", ckpt])
         assert code == 0
         assert "recall@20" in capsys.readouterr().out
+
+
+class TestRecommend:
+    def test_train_then_serve_roundtrip(self, tmp_path, capsys):
+        import json
+        import os
+        from repro.data import save_tsv, tiny_dataset
+        tsv = str(tmp_path / "edges.tsv")
+        save_tsv(tiny_dataset(seed=9, num_users=40, num_items=30), tsv)
+        snap = str(tmp_path / "serve.npz")
+        out = str(tmp_path / "topk.json")
+        # first call trains and writes the snapshot
+        code = main(["recommend", "--snapshot", snap, "--model", "biasmf",
+                     "--dataset", tsv, "--epochs", "2", "--batch-size",
+                     "64", "--dim", "8", "--users", "0,3,7", "--k", "5",
+                     "--output", out, "--quiet"])
+        assert code == 0
+        assert os.path.exists(snap)
+        payload = json.loads(open(out).read())
+        assert payload["model"] == "biasmf"
+        assert sorted(payload["recommendations"]) == ["0", "3", "7"]
+        assert all(len(v) == 5 for v in
+                   payload["recommendations"].values())
+        capsys.readouterr()
+        # second call serves the existing snapshot, no dataset needed
+        code = main(["recommend", "--snapshot", snap, "--users", "3",
+                     "--k", "5", "--workers", "2"])
+        assert code == 0
+        served = json.loads(
+            capsys.readouterr().out.split("\n", 1)[1])
+        assert served["recommendations"]["3"] \
+            == payload["recommendations"]["3"]
+
+    def test_missing_snapshot_without_model_fails(self, tmp_path):
+        code = main(["recommend", "--snapshot",
+                     str(tmp_path / "none.npz")])
+        assert code == 2
+
+    def test_snapshot_path_without_extension(self, tmp_path, capsys):
+        import os
+        from repro.data import save_tsv, tiny_dataset
+        tsv = str(tmp_path / "edges.tsv")
+        save_tsv(tiny_dataset(seed=9, num_users=40, num_items=30), tsv)
+        snap = str(tmp_path / "serve")  # no .npz — must still round-trip
+        assert main(["recommend", "--snapshot", snap, "--model", "biasmf",
+                     "--dataset", tsv, "--epochs", "1", "--batch-size",
+                     "64", "--dim", "8", "--users", "0", "--k", "3",
+                     "--quiet"]) == 0
+        assert os.path.exists(snap + ".npz")
+        capsys.readouterr()
+        # second call must serve the artifact, not retrain
+        assert main(["recommend", "--snapshot", snap, "--users", "0",
+                     "--k", "3"]) == 0
+        assert "dataset:" not in capsys.readouterr().out
