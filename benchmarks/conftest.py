@@ -31,6 +31,17 @@ def pytest_sessionfinish(session, exitstatus):
                 # the trajectory artifact
     import harness
 
+    # every bench invocation ends with the hot-path trend check: any
+    # record of this session that regressed past the committed
+    # BENCH_hotpath.json baseline is reported here (and the dedicated
+    # hot-path bench additionally *fails* on them)
+    regressions = harness.check_hotpath_trend()
+    if regressions:
+        print("\nHOT-PATH TREND REGRESSIONS vs committed "
+              "BENCH_hotpath.json:")
+        for message in regressions:
+            print(f"  {message}")
+
     path = harness.write_hotpath_artifact()
     if path is not None:
         print(f"\nwrote hot-path perf artifact: {path}")

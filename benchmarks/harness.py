@@ -62,6 +62,12 @@ directly.  :func:`check_hotpath_trend` compares a session's records
 against the committed artifact and reports per-row regressions beyond a
 tolerance — the hot-path bench fails on them, which keeps the committed
 ``BENCH_hotpath.json`` an enforced floor rather than a stale note.
+
+The trend check is part of every bench invocation: ``pytest benchmarks``
+(any subset) runs :func:`check_hotpath_trend` over the session's records
+at session end (``conftest.pytest_sessionfinish``) and prints the
+regression report before writing the artifact, so a slowdown surfaces
+even when ``test_hotpath.py`` itself was not selected.
 """
 
 from __future__ import annotations

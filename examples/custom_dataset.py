@@ -2,9 +2,12 @@
 """Bring-your-own-data: train GraphAug on a TSV edge list.
 
 Shows the file-loading path a downstream user of this library would take
-with a real Gowalla/Retail Rocket/Amazon dump (``user item`` per line).
-For a self-contained demo this script first writes such a file from a
-synthetic dataset, then loads it back and trains.
+with a real Gowalla/Retail Rocket/Amazon dump (``user item`` per line):
+``ExperimentSpec.dataset`` accepts a file path directly — the facade
+resolves registered names first, then falls back to ``.npz``/TSV loading
+(``repro.data.resolve_dataset``).  For a self-contained demo this script
+first writes such a file from a synthetic dataset, then loads it back
+and trains.
 
     python examples/custom_dataset.py [path/to/edges.tsv]
 """
@@ -13,9 +16,8 @@ import os
 import sys
 import tempfile
 
-from repro.data import load_tsv, save_tsv, tiny_dataset
-from repro.models import build_model
-from repro.train import ModelConfig, TrainConfig, fit_model
+from repro.api import Experiment, ExperimentSpec
+from repro.data import save_tsv, tiny_dataset
 
 
 def demo_file() -> str:
@@ -27,23 +29,26 @@ def demo_file() -> str:
     return path
 
 
-def main():
-    path = sys.argv[1] if len(sys.argv) > 1 else demo_file()
+def main(path=None, epochs: int = 40):
+    path = path or demo_file()
 
-    dataset = load_tsv(path, test_fraction=0.2, seed=0,
-                       min_interactions=2)
-    print(f"loaded: {dataset}")
+    spec = ExperimentSpec(
+        model="graphaug",
+        dataset=path,                       # a file path is a valid spec
+        dataset_options={"test_fraction": 0.2, "min_interactions": 2},
+        model_config={"embedding_dim": 32, "num_layers": 2,
+                      "ssl_weight": 1.0},
+        train_config={"epochs": epochs, "batch_size": 256,
+                      "eval_every": max(1, epochs // 4)},
+    )
+    experiment = Experiment(spec)
+    print(f"loaded: {experiment.dataset()}")
 
-    model = build_model("graphaug", dataset,
-                        ModelConfig(embedding_dim=32, num_layers=2,
-                                    ssl_weight=1.0), seed=0)
-    result = fit_model(model, dataset,
-                       TrainConfig(epochs=40, batch_size=256,
-                                   eval_every=10), seed=0)
+    result = experiment.run()
     print("best metrics:")
-    for key, value in sorted(result.best_metrics.items()):
+    for key, value in sorted(result.metrics.items()):
         print(f"  {key:12s} {value:.4f}")
 
 
 if __name__ == "__main__":
-    main()
+    main(path=sys.argv[1] if len(sys.argv) > 1 else None)

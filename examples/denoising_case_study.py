@@ -8,30 +8,40 @@ GraphAug, and compares two per-edge signals between real and fake edges:
   model "disregards connections to items with low similarity values");
 * the augmentor's edge keep-probability.
 
+The run goes through the experiment facade with an *injected* dataset
+(``Experiment(spec, dataset=noisy)`` — the corrupted copy is not a
+registered name); the trained model stays available for the
+model-internals inspection below.
+
     python examples/denoising_case_study.py
 """
 
 import numpy as np
 
-from repro.data import load_profile
+from repro.api import Experiment, ExperimentSpec
+from repro.data import resolve_dataset
 from repro.graph import inject_fake_edges
-from repro.models import build_model
-from repro.train import ModelConfig, TrainConfig, fit_model
 
 
-def main():
+def main(dataset_name: str = "amazon", epochs: int = 60):
     rng = np.random.default_rng(0)
-    dataset = load_profile("amazon", seed=0)
+    dataset = resolve_dataset(dataset_name, seed=0)
     noisy_graph, fake_users, fake_items = inject_fake_edges(
         dataset.train, ratio=0.15, rng=rng)
     noisy = dataset.with_train_graph(noisy_graph)
     print(f"planted {len(fake_users)} fake edges into {dataset.name}")
 
-    model = build_model("graphaug", noisy,
-                        ModelConfig(embedding_dim=32, num_layers=3,
-                                    ssl_weight=1.0), seed=0)
-    fit_model(model, noisy, TrainConfig(epochs=60, batch_size=512,
-                                        eval_every=60), seed=0)
+    spec = ExperimentSpec(
+        model="graphaug",
+        dataset=dataset_name,   # echo only; the run uses the injected copy
+        model_config={"embedding_dim": 32, "num_layers": 3,
+                      "ssl_weight": 1.0},
+        train_config={"epochs": epochs, "batch_size": 512,
+                      "eval_every": epochs},
+    )
+    experiment = Experiment(spec, dataset=noisy)
+    experiment.run()
+    model = experiment.model
 
     # learned similarity on real vs fake edges
     users, items = model.propagate()

@@ -1,8 +1,9 @@
 #!/usr/bin/env python
 """Compare several recommenders from the zoo on one dataset.
 
-A miniature of the paper's Table II: train a selection of models with the
-same budget and print Recall@20/40 and NDCG@20/40 side by side.
+A miniature of the paper's Table II driven by the sweep API: one base
+spec, ``expand_grid`` over the model axis, ``run_sweep`` with shared
+dataset loading (the dataset is generated once for the whole sweep).
 
     python examples/model_comparison.py [dataset] [epochs]
 
@@ -12,37 +13,37 @@ largest relative gains); ``epochs`` defaults to 60.
 
 import sys
 
-from repro.data import load_profile
-from repro.models import build_model
-from repro.train import ModelConfig, TrainConfig, fit_model
+from repro.api import ExperimentSpec, expand_grid, run_sweep
 
 MODELS = ("biasmf", "lightgcn", "sgl", "hccf", "ncl", "graphaug")
 
 
-def main():
-    name = sys.argv[1] if len(sys.argv) > 1 else "retail_rocket"
-    epochs = int(sys.argv[2]) if len(sys.argv) > 2 else 60
-    dataset = load_profile(name, seed=0)
-    print(f"dataset: {dataset}\n")
-
-    config = ModelConfig(embedding_dim=32, num_layers=3, ssl_weight=1.0)
-    train_config = TrainConfig(epochs=epochs, batch_size=512,
-                               eval_every=max(1, epochs // 4))
+def main(dataset: str = "retail_rocket", epochs: int = 60,
+         models=MODELS, run_dir=None):
+    base = ExperimentSpec(
+        model=models[0],
+        dataset=dataset,
+        model_config={"embedding_dim": 32, "num_layers": 3,
+                      "ssl_weight": 1.0},
+        train_config={"epochs": epochs, "batch_size": 512,
+                      "eval_every": max(1, epochs // 4)},
+    )
+    specs = expand_grid(base, models=models)
+    results = run_sweep(specs, base_dir=run_dir)
 
     header = (f"{'model':>10s} | {'Recall@20':>9s} {'Recall@40':>9s} "
               f"{'NDCG@20':>8s} {'NDCG@40':>8s} | {'train':>6s} "
               f"{'eval':>6s}")
     print(header)
     print("-" * len(header))
-    for model_name in MODELS:
-        model = build_model(model_name, dataset, config, seed=0)
-        result = fit_model(model, dataset, train_config, seed=0)
-        m = result.best_metrics
-        print(f"{model_name:>10s} | {m['recall@20']:9.4f} "
+    for result in results:
+        m = result.metrics
+        print(f"{result.spec.model:>10s} | {m['recall@20']:9.4f} "
               f"{m['recall@40']:9.4f} {m['ndcg@20']:8.4f} "
               f"{m['ndcg@40']:8.4f} | {result.train_seconds:5.1f}s "
               f"{result.eval_seconds:5.1f}s")
 
 
 if __name__ == "__main__":
-    main()
+    main(dataset=sys.argv[1] if len(sys.argv) > 1 else "retail_rocket",
+         epochs=int(sys.argv[2]) if len(sys.argv) > 2 else 60)

@@ -6,47 +6,47 @@ and compares how much GraphAug and LightGCN degrade.  GraphAug's
 GIB-regularized augmentor filters implausible edges out of the contrastive
 views, so its relative drop should be smaller.
 
+The whole protocol runs as the ``noise_robustness`` *probe* of the
+experiment facade: the spec names the probe, ``Experiment.run()`` trains
+the clean model and the probe retrains the same model family on each
+noisy copy.
+
     python examples/noise_robustness.py
 """
 
-from repro.data import load_profile
-from repro.eval import noise_robustness_curve
-from repro.models import build_model
-from repro.train import ModelConfig, TrainConfig, fit_model
+from repro.api import Experiment, ExperimentSpec
 
 
-def make_trainer(model_name: str, epochs: int = 40):
-    """A train-and-score closure for the robustness protocol."""
-    def train(dataset):
-        config = ModelConfig(embedding_dim=32, num_layers=3, ssl_weight=1.0)
-        model = build_model(model_name, dataset, config, seed=0)
-        fit_model(model, dataset,
-                  TrainConfig(epochs=epochs, batch_size=512,
-                              eval_every=epochs), seed=0)
-        # returning the model (not a dense score matrix) lets the
-        # protocol evaluate it through the chunked ranking engine
-        return model
-    return train
+def main(dataset: str = "amazon", epochs: int = 40,
+         ratios=(0.0, 0.1, 0.25)):
+    curves = {}
+    for model in ("graphaug", "lightgcn"):
+        spec = ExperimentSpec(
+            model=model,
+            dataset=dataset,
+            model_config={"embedding_dim": 32, "num_layers": 3,
+                          "ssl_weight": 1.0},
+            train_config={"epochs": epochs, "batch_size": 512,
+                          "eval_every": epochs},
+            probes={"noise_robustness": {"noise_ratios": list(ratios),
+                                         "metric": "recall@20",
+                                         "epochs": epochs}},
+        )
+        result = Experiment(spec).run()
+        curves[model] = result.probes["noise_robustness"]
 
-
-def main():
-    dataset = load_profile("amazon", seed=0)
-    print(f"dataset: {dataset}\n")
-    ratios = (0.0, 0.1, 0.25)
-
-    print(f"{'noise':>6s} | {'GraphAug':>9s} | {'LightGCN':>9s}   "
+    print(f"\n{'noise':>6s} | {'GraphAug':>9s} | {'LightGCN':>9s}   "
           f"(Recall@20 relative to clean)")
-    curves = {name: noise_robustness_curve(make_trainer(name), dataset,
-                                           noise_ratios=ratios, seed=0)
-              for name in ("graphaug", "lightgcn")}
     for ratio in ratios:
-        print(f"{ratio:6.2f} | {curves['graphaug'][ratio]:9.3f} | "
-              f"{curves['lightgcn'][ratio]:9.3f}")
+        key = f"{ratio:g}"
+        print(f"{ratio:6.2f} | {curves['graphaug'][key]:9.3f} | "
+              f"{curves['lightgcn'][key]:9.3f}")
 
-    drop_ga = 1.0 - curves["graphaug"][0.25]
-    drop_lg = 1.0 - curves["lightgcn"][0.25]
-    print(f"\nrelative drop at 25% noise: GraphAug {drop_ga:+.1%}, "
-          f"LightGCN {drop_lg:+.1%}")
+    last = f"{ratios[-1]:g}"
+    drop_ga = 1.0 - curves["graphaug"][last]
+    drop_lg = 1.0 - curves["lightgcn"][last]
+    print(f"\nrelative drop at {float(last):.0%} noise: "
+          f"GraphAug {drop_ga:+.1%}, LightGCN {drop_lg:+.1%}")
 
 
 if __name__ == "__main__":

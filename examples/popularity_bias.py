@@ -4,39 +4,38 @@
 The paper motivates robust augmentation partly by popularity bias in noisy
 implicit feedback.  This example trains LightGCN and GraphAug on the same
 long-tailed dataset and compares beyond-accuracy metrics: catalogue
-coverage, Gini exposure concentration and novelty.
+coverage, Gini exposure concentration and novelty — attached to the run
+as the facade's ``beyond_accuracy`` probe.
 
     python examples/popularity_bias.py
 """
 
-from repro.data import load_profile, popularity_statistics
-from repro.eval import beyond_accuracy_report, evaluate_model
-from repro.models import build_model
-from repro.train import ModelConfig, TrainConfig, fit_model
+from repro.api import Experiment, ExperimentSpec
+from repro.data import popularity_statistics, resolve_dataset
 
 
-def main():
-    dataset = load_profile("gowalla", seed=0)
-    stats = popularity_statistics(dataset.train)
-    print(f"dataset: {dataset}")
-    print(f"long-tail: top-decile items hold "
+def main(dataset: str = "gowalla", epochs: int = 50):
+    stats = popularity_statistics(resolve_dataset(dataset, seed=0).train)
+    print(f"long-tail {dataset}: top-decile items hold "
           f"{stats['top_decile_share']:.0%} of interactions, "
           f"skewness {stats['degree_skewness']:.2f}\n")
-
-    config = ModelConfig(embedding_dim=32, num_layers=3, ssl_weight=1.0)
-    train_config = TrainConfig(epochs=50, batch_size=512, eval_every=25)
 
     print(f"{'model':>10s} | {'recall@20':>9s} {'coverage':>9s} "
           f"{'gini':>6s} {'novelty':>8s}")
     for name in ("lightgcn", "graphaug"):
-        model = build_model(name, dataset, config, seed=0)
-        fit_model(model, dataset, train_config, seed=0)
-        # both evaluators accept the model directly and rank in chunks —
-        # the dense all-pairs matrix is never materialized
-        accuracy = evaluate_model(model, dataset, ks=(20,),
-                                  metrics=("recall",))
-        beyond = beyond_accuracy_report(model, dataset, k=20)
-        print(f"{name:>10s} | {accuracy['recall@20']:9.4f} "
+        spec = ExperimentSpec(
+            model=name,
+            dataset=dataset,
+            model_config={"embedding_dim": 32, "num_layers": 3,
+                          "ssl_weight": 1.0},
+            train_config={"epochs": epochs, "batch_size": 512,
+                          "eval_every": max(1, epochs // 2)},
+            eval={"ks": [20], "metrics": ["recall"]},
+            probes={"beyond_accuracy": {"k": 20}},
+        )
+        result = Experiment(spec).run()
+        beyond = result.probes["beyond_accuracy"]
+        print(f"{name:>10s} | {result.metrics['recall@20']:9.4f} "
               f"{beyond['coverage@20']:9.3f} {beyond['gini@20']:6.3f} "
               f"{beyond['novelty@20']:8.3f}")
 

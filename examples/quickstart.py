@@ -5,51 +5,54 @@ Runs in under a minute on one CPU core:
 
     python examples/quickstart.py
 
-Demonstrates the core public API: dataset loading, model construction via
-the registry, training with the shared Trainer, and top-K evaluation.
+Demonstrates the declarative experiment API: one ``ExperimentSpec``
+describes the whole run (dataset, model, budgets, evaluation), and
+``Experiment.run()`` resolves every component through the registries —
+the same facade behind ``python -m repro run spec.json``.
 """
 
 import numpy as np
 
-from repro.data import load_profile
+from repro.api import Experiment, ExperimentSpec
 from repro.eval import rank_items_block
-from repro.models import build_model
-from repro.train import ModelConfig, TrainConfig, fit_model
 
 
-def main():
-    # 1. Data: a scaled-down statistical equivalent of the paper's Gowalla
-    dataset = load_profile("gowalla", seed=0)
-    print(f"dataset: {dataset}")
-    print(f"density: {dataset.density:.4f}\n")
+def main(dataset: str = "gowalla", epochs: int = 60):
+    # 1. One spec describes the experiment end to end (the paper's
+    # default hyperparameters; profiles are scaled-down statistical
+    # equivalents of the paper's datasets)
+    spec = ExperimentSpec(
+        model="graphaug",
+        dataset=dataset,
+        seed=0,
+        model_config={"embedding_dim": 32, "num_layers": 3,
+                      "ssl_weight": 1.0},
+        train_config={"epochs": epochs, "batch_size": 512,
+                      "eval_every": max(1, epochs // 3), "verbose": True},
+    )
 
-    # 2. Model: GraphAug with the paper's default hyperparameters
-    config = ModelConfig(embedding_dim=32, num_layers=3, ssl_weight=1.0)
-    model = build_model("graphaug", dataset, config, seed=0)
-    print(f"model: {type(model).__name__} "
-          f"({model.num_parameters():,} parameters)\n")
+    # 2. Run it: dataset loading, registry model construction, the
+    # shared training loop and chunked full-ranking evaluation
+    experiment = Experiment(spec)
+    print(f"dataset: {experiment.dataset()}")
+    print(f"density: {experiment.dataset().density:.4f}\n")
+    result = experiment.run()
 
-    # 3. Train with the shared loop (BPR + GIB + contrastive, Eq 16)
-    train_config = TrainConfig(epochs=60, batch_size=512, eval_every=20,
-                               verbose=True)
-    result = fit_model(model, dataset, train_config, seed=0)
-
-    # 4. Evaluate: chunked full ranking with train positives masked
-    # (the Trainer evaluates through repro.eval.evaluate_model, which
-    # scores users in blocks and never builds the all-pairs matrix)
     print(f"\ntrained in {result.train_seconds:.1f}s "
           f"(+{result.eval_seconds:.1f}s evaluating); best epoch "
           f"{result.best_epoch}")
-    for key, value in sorted(result.best_metrics.items()):
+    for key, value in sorted(result.metrics.items()):
         print(f"  {key:12s} {value:.4f}")
 
-    # 5. Recommend: top-5 items for one user, scoring only that user's row
-    user = int(dataset.test_users()[0])
+    # 3. Recommend: top-5 items for one user, scoring only that user's
+    # row (the trained model stays available on the experiment)
+    data = experiment.dataset()
+    user = int(data.test_users()[0])
     user_ids = np.array([user])
-    top5 = rank_items_block(model.score_users(user_ids),
-                            dataset.train.matrix, user_ids, k=5)[0]
+    top5 = rank_items_block(experiment.model.score_users(user_ids),
+                            data.train.matrix, user_ids, k=5)[0]
     print(f"\ntop-5 recommendations for user {user}: {top5.tolist()}")
-    print(f"held-out positives: {dataset.test_items_of(user).tolist()}")
+    print(f"held-out positives: {data.test_items_of(user).tolist()}")
 
 
 if __name__ == "__main__":

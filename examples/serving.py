@@ -5,11 +5,12 @@ Runs in under a minute on one CPU core:
 
     python examples/serving.py
 
-Demonstrates the ``repro.serve`` subsystem end to end: persisting a
-trained model as a single-artifact snapshot, standing a
-``RecommenderService`` back up from the artifact without the training
-pipeline, answering sharded ``recommend`` requests, and folding new
-interactions in with ``partial_update`` — no retrain.
+Demonstrates the ``repro.serve`` subsystem end to end through the
+experiment facade: the spec's ``artifacts.snapshot`` persists the
+trained model as a single-artifact snapshot, a ``RecommenderService``
+stands back up from the artifact without the training pipeline, answers
+sharded ``recommend`` requests, and folds new interactions in with
+``partial_update`` — no retrain.
 """
 
 import os
@@ -18,42 +19,47 @@ import time
 
 import numpy as np
 
-from repro.data import load_profile
+from repro.api import Experiment, ExperimentSpec
 from repro.eval import top_k_lists
-from repro.models import build_model
-from repro.serve import RecommenderService, load_snapshot, save_snapshot
-from repro.train import ModelConfig, TrainConfig, fit_model
+from repro.serve import RecommenderService, load_snapshot
 
 
-def main():
-    # 1. Train a model (any registered name works — try "ncf" to see the
-    # model-backend restore path instead of cached embeddings)
-    dataset = load_profile("gowalla", seed=0)
-    model = build_model("lightgcn", dataset,
-                        ModelConfig(embedding_dim=32, num_layers=3), seed=0)
-    result = fit_model(model, dataset,
-                       TrainConfig(epochs=30, eval_every=30), seed=0)
+def main(dataset: str = "gowalla", epochs: int = 30):
+    # 1. Train (any registered model name works — try "ncf" to see the
+    # model-backend restore path instead of cached embeddings); the
+    # snapshot artifact is written at end of fit by the callback registry
+    path = os.path.join(tempfile.mkdtemp(), "lightgcn-serve.npz")
+    spec = ExperimentSpec(
+        model="lightgcn",
+        dataset=dataset,
+        model_config={"embedding_dim": 32, "num_layers": 3},
+        train_config={"epochs": epochs, "eval_every": epochs},
+        artifacts={"snapshot": path},
+    )
+    experiment = Experiment(spec)
+    result = experiment.run()
     print(f"trained lightgcn in {result.train_seconds:.1f}s "
-          f"(recall@20 {result.best_metrics.get('recall@20', 0):.4f})\n")
+          f"(recall@20 {result.metrics.get('recall@20', 0):.4f})\n")
 
-    # 2. Snapshot: one .npz artifact with parameters, propagated
+    # 2. The snapshot: one .npz artifact with parameters, propagated
     # embeddings and the seen-item exclusion CSR
-    path = os.path.join(tempfile.mkdtemp(), "lightgcn-gowalla.npz")
-    save_snapshot(model, dataset, path)
     snap = load_snapshot(path)
     print(f"snapshot -> {path}")
     print(f"  model={snap.model_name}  embeddings={snap.has_embeddings}  "
+          f"format_version={snap.meta['format_version']}  "
           f"size={os.path.getsize(path) / 1024:.0f} KiB\n")
 
     # 3. Serve from the artifact alone — the model object is not needed
     service = RecommenderService.from_snapshot(path, num_workers=2)
-    users = np.array([3, 14, 15, 92])
+    users = np.unique(np.array([3, 14, 15, 92])
+                      % experiment.dataset().num_users)
     topk = service.recommend(users, k=5)
     for user, row in zip(users, topk):
         print(f"  top-5 for user {user}: {row.tolist()}")
 
     # the served lists match the live model's ranking exactly
-    assert np.array_equal(topk, top_k_lists(model, dataset, k=5,
+    assert np.array_equal(topk, top_k_lists(experiment.model,
+                                            experiment.dataset(), k=5,
                                             users=users))
     print("  (identical to the live model's top_k_lists)\n")
 
@@ -69,7 +75,7 @@ def main():
     assert consumed not in after
 
     # 5. Throughput: the sharded executor serves whole user batches
-    all_users = np.arange(dataset.num_users)
+    all_users = np.arange(experiment.dataset().num_users)
     start = time.perf_counter()
     service.recommend(all_users, k=20)
     elapsed = time.perf_counter() - start

@@ -1,5 +1,33 @@
 """Legacy setup shim: this environment has no `wheel` package, so modern
-PEP-517 editable installs cannot build; `setup.py develop` still works."""
-from setuptools import setup
+PEP-517 editable installs cannot build; `setup.py develop` still works.
 
-setup()
+Installs the ``repro`` console script (the same entry point
+``python -m repro`` reaches via ``src/repro/__main__.py``)."""
+import os
+import re
+
+from setuptools import find_packages, setup
+
+
+def _version() -> str:
+    # single source of truth: repro.__version__
+    init = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "src", "repro", "__init__.py")
+    with open(init) as handle:
+        return re.search(r'__version__ = "([^"]+)"', handle.read()).group(1)
+
+
+setup(
+    name="repro-graphaug",
+    version=_version(),
+    description="GraphAug reproduction (ICDE 2024): models, training, "
+                "serving and a declarative experiment API",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+)

@@ -10,11 +10,12 @@ Subpackages
 ``repro.models``    17 baseline recommenders + registry
 ``repro.core``      GraphAug: learnable augmentor, GIB, mixhop encoder
 ``repro.serve``     online serving: snapshots, sharded workers, updates
+``repro.api``       declarative experiment facade: specs, runs, sweeps
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from . import autograd, graph, data, eval, train, serve, utils
+from . import autograd, graph, data, eval, train, serve, utils, api
 
 __all__ = ["autograd", "graph", "data", "eval", "train", "serve", "utils",
-           "__version__"]
+           "api", "__version__"]

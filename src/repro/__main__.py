@@ -1,0 +1,12 @@
+"""``python -m repro`` — module entry point for the CLI.
+
+Identical to the installed ``repro`` console script (see ``setup.py``):
+both dispatch to :func:`repro.cli.main`.
+"""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

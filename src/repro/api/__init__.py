@@ -1,0 +1,47 @@
+"""``repro.api`` — the declarative experiment facade.
+
+One typed spec describes a whole experiment; one call runs it through
+the registries and the shared pipeline::
+
+    from repro.api import Experiment, ExperimentSpec
+
+    spec = ExperimentSpec(model="lightgcn", dataset="gowalla",
+                          train_config={"epochs": 60, "eval_every": 20})
+    result = Experiment(spec).run(run_dir="runs/lightgcn-gowalla")
+    print(result.metrics["recall@20"])
+
+Every component is resolved by name through the process-wide component
+registries (:func:`repro.utils.component_registry`):
+
+==========  ============================  ==============================
+kind        registered by                 spec field
+==========  ============================  ==============================
+model       ``repro.models``              ``model``
+dataset     ``repro.data`` (profiles,     ``dataset`` (names or file
+            ``tiny``; file paths resolve  paths)
+            by extension)
+metric      ``repro.eval.metrics``        ``eval.metrics``
+probe       ``repro.eval`` (groups,       ``probes``
+            beyond-accuracy, robustness)
+callback    ``repro.train.callbacks``     ``artifacts``
+==========  ============================  ==============================
+
+Specs round-trip losslessly through plain dicts / JSON files (strict
+parsing: unknown keys raise, naming the bad field), runs persist a
+replayable run directory (:mod:`repro.api.rundir`), and
+:func:`run_sweep` grid-runs many specs with shared dataset loading.
+The CLI (``repro train/evaluate/recommend/run``) is a thin shell over
+this module.
+"""
+
+from .spec import ArtifactSpec, EvalSpec, ExperimentSpec
+from .experiment import (Experiment, RunResult, expand_grid,
+                         recommend_topk, run_experiment, run_sweep)
+from .rundir import environment_stamp, read_run_dir, write_run_dir
+
+__all__ = [
+    "ArtifactSpec", "EvalSpec", "ExperimentSpec",
+    "Experiment", "RunResult", "expand_grid", "recommend_topk",
+    "run_experiment", "run_sweep",
+    "environment_stamp", "read_run_dir", "write_run_dir",
+]

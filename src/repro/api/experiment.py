@@ -1,0 +1,325 @@
+"""The experiment pipeline: spec in, run directory and results out.
+
+:class:`Experiment` resolves every component of an
+:class:`~repro.api.ExperimentSpec` through the process-wide component
+registries — dataset (``repro.data``), model (``repro.models``), metric
+names (``repro.eval``), probes (``repro.eval``) and post-fit artifact
+callbacks (``repro.train``) — and drives the shared Trainer and chunked
+evaluator exactly the way the CLI always did, so ``Experiment.run(spec)``
+reproduces the historical ``repro train`` path bit-identically for the
+same seed and budgets.
+
+:func:`run_sweep` runs many specs with one shared dataset cache (each
+``(dataset, seed, options)`` cell is loaded once per sweep) and writes
+one replayable run directory per spec under a base directory.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .rundir import read_run_dir, write_run_dir
+from .spec import ExperimentSpec
+from ..data import InteractionDataset, resolve_dataset
+from ..train import Trainer, FitResult, CALLBACK_REGISTRY
+
+
+@dataclass
+class RunResult:
+    """Everything one experiment run produced.
+
+    ``fit`` (the full per-epoch history) is only present on live runs;
+    results reloaded from a run directory carry the persisted summary —
+    spec, best metrics, timing, probe outputs and artifact paths.
+    """
+
+    spec: ExperimentSpec
+    metrics: Dict[str, float]
+    best_epoch: int = -1
+    timing: Dict[str, float] = field(default_factory=dict)
+    probes: Dict[str, object] = field(default_factory=dict)
+    artifacts: Dict[str, str] = field(default_factory=dict)
+    run_dir: Optional[str] = None
+    fit: Optional[FitResult] = None
+
+    @property
+    def train_seconds(self) -> float:
+        return float(self.timing.get("train_seconds", 0.0))
+
+    @property
+    def eval_seconds(self) -> float:
+        return float(self.timing.get("eval_seconds", 0.0))
+
+    @classmethod
+    def load(cls, run_dir: str) -> "RunResult":
+        """Reload a persisted run (inverse of the run-directory write)."""
+        payload = read_run_dir(run_dir)
+        return cls(spec=ExperimentSpec.from_dict(payload["spec"]),
+                   metrics=payload["metrics"],
+                   best_epoch=payload["best_epoch"],
+                   timing=payload["timing"],
+                   probes=payload["probes"],
+                   run_dir=run_dir)
+
+
+def _dataset_cache_key(spec: ExperimentSpec) -> tuple:
+    options = tuple(sorted(spec.dataset_options.items()))
+    return (spec.dataset, spec.seed, options)
+
+
+class Experiment:
+    """One declarative experiment, resolvable end to end from its spec.
+
+    Usage::
+
+        spec = ExperimentSpec(model="lightgcn", dataset="gowalla",
+                              train_config={"epochs": 60})
+        result = Experiment(spec).run(run_dir="runs/lightgcn-gowalla")
+        result.metrics["recall@20"]
+
+    ``run()`` trains, evaluates (through the trainer's chunked eval
+    cadence), executes the spec's probes on the trained model, writes
+    the requested artifacts through the callback registry, and — when a
+    run directory is given — persists the replayable run record
+    (:mod:`repro.api.rundir`).
+    """
+
+    def __init__(self, spec, dataset: Optional[InteractionDataset] = None):
+        if isinstance(spec, dict):
+            spec = ExperimentSpec.from_dict(spec)
+        self.spec = spec
+        self._dataset = dataset
+        #: the trained model of the most recent :meth:`run` (for
+        #: model-internals case studies; None before the first run)
+        self.model = None
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_file(cls, path: str) -> "Experiment":
+        return cls(ExperimentSpec.from_file(path))
+
+    @classmethod
+    def from_run_dir(cls, run_dir: str) -> "Experiment":
+        """Rebuild the exact experiment a run directory records."""
+        return cls(ExperimentSpec.from_dict(read_run_dir(run_dir)["spec"]))
+
+    # ------------------------------------------------------------------ #
+    def dataset(self, cache: Optional[Dict] = None) -> InteractionDataset:
+        """Resolve (and memoize) the spec's dataset."""
+        if self._dataset is None:
+            key = _dataset_cache_key(self.spec)
+            if cache is not None and key in cache:
+                self._dataset = cache[key]
+            else:
+                self._dataset = resolve_dataset(self.spec.dataset,
+                                                seed=self.spec.seed,
+                                                **self.spec.dataset_options)
+                if cache is not None:
+                    cache[key] = self._dataset
+        return self._dataset
+
+    def build_model(self, dataset: Optional[InteractionDataset] = None):
+        """Registry-resolve and construct the spec's model (untrained)."""
+        # deferred: importing the zoo is the heaviest import in the tree
+        from ..models import build_model
+        dataset = dataset if dataset is not None else self.dataset()
+        return build_model(self.spec.model, dataset,
+                           self.spec.resolved_model_config(),
+                           seed=self.spec.seed)
+
+    # ------------------------------------------------------------------ #
+    def run(self, run_dir: Optional[str] = None,
+            dataset_cache: Optional[Dict] = None,
+            verbose: Optional[bool] = None) -> RunResult:
+        """Train -> evaluate -> probe -> persist; returns a `RunResult`."""
+        spec = self.spec
+        dataset = self.dataset(cache=dataset_cache)
+        model = self.build_model(dataset)
+        train_config = spec.resolved_train_config()
+        if verbose is not None:
+            train_config = train_config.with_overrides(verbose=verbose)
+        fit = Trainer(model, dataset, train_config, seed=spec.seed).fit()
+        self.model = model
+
+        probes: Dict[str, object] = {}
+        if spec.probes:
+            from ..eval import PROBE_REGISTRY
+            for name, options in spec.probes.items():
+                probes[name] = PROBE_REGISTRY.get(name)(model, dataset,
+                                                        **options)
+
+        artifacts = self._write_artifacts(model, dataset, fit, run_dir)
+        timing = {"train_seconds": fit.train_seconds,
+                  "sampler_seconds": fit.sampler_seconds,
+                  "spmm_seconds": fit.spmm_seconds,
+                  "eval_seconds": fit.eval_seconds}
+        if run_dir is not None:
+            paths = write_run_dir(run_dir, spec, fit=fit,
+                                  metrics=fit.best_metrics,
+                                  best_epoch=fit.best_epoch,
+                                  timing=timing, probes=probes)
+            artifacts.update(paths)
+        return RunResult(spec=spec, metrics=dict(fit.best_metrics),
+                         best_epoch=fit.best_epoch, timing=timing,
+                         probes=probes, artifacts=artifacts,
+                         run_dir=run_dir, fit=fit)
+
+    def _write_artifacts(self, model, dataset, fit,
+                         run_dir: Optional[str]) -> Dict[str, str]:
+        """Resolve the spec's artifact paths through the callback registry."""
+        artifacts: Dict[str, str] = {}
+        for role, callback_name in self.spec.artifacts.CALLBACKS.items():
+            path = getattr(self.spec.artifacts, role)
+            if not path:
+                continue
+            if run_dir is not None and not os.path.isabs(path):
+                path = os.path.join(run_dir, path)
+            parent = os.path.dirname(path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            callback = CALLBACK_REGISTRY.get(callback_name)
+            artifacts[role] = callback(model, dataset, fit, path)
+        return artifacts
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, checkpoint: Optional[str] = None,
+                 dataset_cache: Optional[Dict] = None) -> Dict[str, float]:
+        """Evaluate the spec's (optionally checkpointed) model, no training.
+
+        Builds the model from the registry, loads ``checkpoint`` when
+        given (a :func:`repro.train.save_state` artifact), and runs the
+        spec's evaluation protocol through the chunked ranking engine.
+        """
+        from ..eval import evaluate_model
+        from ..train import load_state
+
+        dataset = self.dataset(cache=dataset_cache)
+        model = self.build_model(dataset)
+        if checkpoint:
+            model.load_state_dict(load_state(checkpoint))
+        return evaluate_model(model, dataset, ks=self.spec.eval.ks,
+                              metrics=self.spec.eval.metrics,
+                              chunk_size=self.spec.eval.chunk_size)
+
+
+def run_experiment(spec, run_dir: Optional[str] = None,
+                   **run_kwargs) -> RunResult:
+    """One-call convenience: ``Experiment(spec).run(run_dir)``."""
+    return Experiment(spec).run(run_dir=run_dir, **run_kwargs)
+
+
+# --------------------------------------------------------------------- #
+# sweeps
+# --------------------------------------------------------------------- #
+
+def expand_grid(base, models: Optional[Sequence[str]] = None,
+                datasets: Optional[Sequence[str]] = None,
+                seeds: Optional[Sequence[int]] = None
+                ) -> List[ExperimentSpec]:
+    """Grid-expand a base spec over models x datasets x seeds.
+
+    Every cell is the base spec with the axis fields replaced (and its
+    ``name`` cleared, so each cell gets its own derived ``run_name``).
+    Axes default to the base spec's own value.
+    """
+    if isinstance(base, dict):
+        base = ExperimentSpec.from_dict(base)
+    models = tuple(models) if models else (base.model,)
+    datasets = tuple(datasets) if datasets else (base.dataset,)
+    seeds = tuple(seeds) if seeds else (base.seed,)
+    return [base.with_overrides(model=model, dataset=dataset, seed=seed,
+                                name=None)
+            for model, dataset, seed in product(models, datasets, seeds)]
+
+
+def run_sweep(specs: Iterable, base_dir: Optional[str] = None,
+              verbose: Optional[bool] = None) -> List[RunResult]:
+    """Run many specs with shared dataset loading.
+
+    Each ``(dataset, seed, options)`` cell is resolved once and reused
+    by every spec that names it.  With ``base_dir`` set, every run
+    writes a replayable run directory ``<base_dir>/<run_name>`` (name
+    collisions get a numeric suffix, so repeated cells never clobber
+    each other).  Returns one :class:`RunResult` per spec, in order.
+    """
+    dataset_cache: Dict = {}
+    used_names: Dict[str, int] = {}
+    results: List[RunResult] = []
+    for spec in specs:
+        if isinstance(spec, dict):
+            spec = ExperimentSpec.from_dict(spec)
+        run_dir = None
+        if base_dir is not None:
+            name = spec.run_name
+            count = used_names.get(name, 0)
+            used_names[name] = count + 1
+            if count:
+                name = f"{name}-{count + 1}"
+            run_dir = os.path.join(base_dir, name)
+        results.append(Experiment(spec).run(run_dir=run_dir,
+                                            dataset_cache=dataset_cache,
+                                            verbose=verbose))
+    return results
+
+
+# --------------------------------------------------------------------- #
+# serving facade
+# --------------------------------------------------------------------- #
+
+def recommend_topk(snapshot: str, users: Optional[np.ndarray] = None,
+                   k: int = 20, num_workers: int = 1,
+                   exclude_seen: bool = True,
+                   train_spec: Optional[ExperimentSpec] = None,
+                   run_dir: Optional[str] = None) -> Dict:
+    """Serve top-k lists from a snapshot, training one first if missing.
+
+    When ``snapshot`` does not exist yet, ``train_spec`` describes the
+    run that produces it (its ``artifacts.snapshot`` is forced to the
+    snapshot path, so the served lists always come from the artifact —
+    proving the round trip).  Returns a JSON-ready payload::
+
+        {"model": ..., "backend": ..., "k": ..., "exclude_seen": ...,
+         "num_users": ..., "recommendations": {"<user>": [item, ...]}}
+    """
+    from ..serve import RecommenderService, resolve_snapshot_path
+
+    path = resolve_snapshot_path(snapshot)
+    if not os.path.exists(path):
+        if train_spec is None:
+            raise FileNotFoundError(
+                f"snapshot {path!r} does not exist; pass train_spec (an "
+                "ExperimentSpec) to train and write one")
+        if isinstance(train_spec, dict):
+            train_spec = ExperimentSpec.from_dict(train_spec)
+        # absolute, so a run_dir never relocates the snapshot away from
+        # where the serving step below will look for it
+        train_spec = train_spec.with_overrides(
+            artifacts=train_spec.artifacts.__class__(
+                checkpoint=train_spec.artifacts.checkpoint,
+                history=train_spec.artifacts.history,
+                snapshot=os.path.abspath(path)))
+        Experiment(train_spec).run(run_dir=run_dir)
+
+    with RecommenderService.from_snapshot(path,
+                                          num_workers=num_workers) as service:
+        stats = service.stats()
+        if users is not None:
+            users = np.asarray(users, dtype=np.int64)
+        lists = service.recommend(users, k=k, exclude_seen=exclude_seen)
+        if users is None:
+            users = np.arange(service.num_users, dtype=np.int64)
+    return {
+        "model": stats["model"],
+        "backend": stats["backend"],
+        "num_workers": stats["num_workers"],
+        "k": k,
+        "exclude_seen": exclude_seen,
+        "num_users": int(len(users)),
+        "recommendations": {str(int(u)): [int(i) for i in row]
+                            for u, row in zip(users, lists)},
+    }

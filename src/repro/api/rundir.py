@@ -1,0 +1,151 @@
+"""The run-directory contract: every run is replayable from its artifact.
+
+:func:`write_run_dir` lays one experiment's outputs down as
+
+::
+
+    <run_dir>/
+      spec.json          # exact ExperimentSpec echo (from_dict loads it)
+      metrics.jsonl      # one JSON object per event: every epoch record
+                         # ({"event": "epoch", ...}) and the final best
+                         # ({"event": "best", ...})
+      timing.json        # train/sampler/spmm/eval wall-clock seconds
+      environment.json   # python/numpy/scipy versions, platform,
+                         # repro version, autograd default dtype
+      probes.json        # probe outputs (only when probes ran)
+      history.csv        # plot-ready per-epoch curve (train runs only)
+      <artifacts>        # checkpoint / snapshot / ... as the spec asked
+
+``spec.json`` is the replay key: ``Experiment.from_run_dir(run_dir)``
+reconstructs the exact experiment, and re-running it with the same seed
+reproduces the recorded metrics bit-identically.  The other files are
+the record of what this run measured and under which toolchain.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from typing import Dict, Optional
+
+SPEC_FILE = "spec.json"
+METRICS_FILE = "metrics.jsonl"
+TIMING_FILE = "timing.json"
+ENVIRONMENT_FILE = "environment.json"
+PROBES_FILE = "probes.json"
+HISTORY_FILE = "history.csv"
+
+
+def environment_stamp() -> Dict[str, str]:
+    """Toolchain fingerprint stored with every run (reproducibility aid)."""
+    import numpy
+    import scipy
+
+    from .. import __version__
+    from ..autograd import get_default_dtype
+
+    return {
+        "python": sys.version.split()[0],
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+        "platform": platform.platform(),
+        "repro": __version__,
+        "default_dtype": numpy.dtype(get_default_dtype()).name,
+    }
+
+
+def _write_json(path: str, payload) -> str:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def write_run_dir(run_dir: str, spec, fit=None,
+                  metrics: Optional[Dict[str, float]] = None,
+                  best_epoch: int = -1,
+                  timing: Optional[Dict[str, float]] = None,
+                  probes: Optional[Dict] = None) -> Dict[str, str]:
+    """Write the run-directory files; returns ``{file role: path}``."""
+    os.makedirs(run_dir, exist_ok=True)
+    paths = {
+        "spec": spec.save(os.path.join(run_dir, SPEC_FILE)),
+        "environment": _write_json(os.path.join(run_dir, ENVIRONMENT_FILE),
+                                   environment_stamp()),
+    }
+
+    events = []
+    if fit is not None:
+        for record in fit.history:
+            events.append({"event": "epoch", "epoch": record.epoch,
+                           "loss": record.loss,
+                           "wall_time": record.wall_time,
+                           "metrics": record.metrics})
+    events.append({"event": "best", "epoch": int(best_epoch),
+                   "metrics": dict(metrics or {})})
+    metrics_path = os.path.join(run_dir, METRICS_FILE)
+    with open(metrics_path, "w") as handle:
+        for event in events:
+            handle.write(json.dumps(event, sort_keys=True) + "\n")
+    paths["metrics"] = metrics_path
+
+    if timing is None and fit is not None:
+        timing = {"train_seconds": fit.train_seconds,
+                  "sampler_seconds": fit.sampler_seconds,
+                  "spmm_seconds": fit.spmm_seconds,
+                  "eval_seconds": fit.eval_seconds}
+    paths["timing"] = _write_json(os.path.join(run_dir, TIMING_FILE),
+                                  dict(timing or {}))
+
+    if probes:
+        paths["probes"] = _write_json(os.path.join(run_dir, PROBES_FILE),
+                                      probes)
+    if fit is not None:
+        from ..train import history_to_csv
+        history_path = os.path.join(run_dir, HISTORY_FILE)
+        history_to_csv(fit, history_path)
+        paths["history"] = history_path
+    return paths
+
+
+def read_run_dir(run_dir: str) -> Dict:
+    """Load the replayable pieces of a run directory back.
+
+    Returns ``{"spec": dict, "metrics": dict, "best_epoch": int,
+    "timing": dict, "probes": dict, "environment": dict}``; raises
+    ``FileNotFoundError`` when ``run_dir`` holds no ``spec.json``.
+    """
+    spec_path = os.path.join(run_dir, SPEC_FILE)
+    if not os.path.exists(spec_path):
+        raise FileNotFoundError(f"{run_dir!r} is not a run directory "
+                                f"(no {SPEC_FILE})")
+    with open(spec_path) as handle:
+        spec = json.load(handle)
+
+    metrics: Dict[str, float] = {}
+    best_epoch = -1
+    metrics_path = os.path.join(run_dir, METRICS_FILE)
+    if os.path.exists(metrics_path):
+        with open(metrics_path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                event = json.loads(line)
+                if event.get("event") == "best":
+                    metrics = event.get("metrics", {})
+                    best_epoch = int(event.get("epoch", -1))
+
+    def _load(name, default):
+        path = os.path.join(run_dir, name)
+        if not os.path.exists(path):
+            return default
+        with open(path) as handle:
+            return json.load(handle)
+
+    return {"spec": spec, "metrics": metrics, "best_epoch": best_epoch,
+            "timing": _load(TIMING_FILE, {}),
+            "probes": _load(PROBES_FILE, {}),
+            "environment": _load(ENVIRONMENT_FILE, {})}

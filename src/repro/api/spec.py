@@ -1,0 +1,260 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` is the single typed description of one run:
+which dataset, which model, which hyperparameter overrides, how to
+evaluate, which probes to run afterwards and which artifacts to write.
+Every field round-trips losslessly through a plain JSON-compatible dict
+(:meth:`ExperimentSpec.to_dict` / :meth:`ExperimentSpec.from_dict`), so
+specs live naturally in files, sweep grids and run-directory echoes.
+
+Parsing is *strict*: an unknown key anywhere — the spec itself, the
+nested ``eval``/``artifacts`` blocks, or the ``model_config`` /
+``train_config`` override dicts — raises a ``ValueError`` naming the bad
+field, so a typo can never silently fall back to a default.
+
+Component names (``model``, ``dataset``, probe names, metric names) are
+validated against the process-wide component registries
+(:func:`repro.utils.component_registry`) at construction time.
+``dataset`` may alternatively be a file path; path-shaped strings (a
+separator or an extension) are resolved at run time, so they may name a
+file that does not exist yet.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..train.config import ModelConfig, TrainConfig, config_from_dict
+
+
+def _looks_like_path(source: str) -> bool:
+    """Heuristic for dataset strings naming a (possibly future) file.
+
+    Specs may be authored before their data file exists, so existence
+    cannot be required at construction time; anything carrying a
+    directory separator or a file extension is accepted as a path and
+    resolved at run time instead.
+    """
+    return os.sep in source or "/" in source or bool(
+        os.path.splitext(source)[1])
+
+
+def _jsonify(mapping: Dict) -> Dict:
+    """Copy of an options dict with tuples converted to lists."""
+    return {k: (list(v) if isinstance(v, tuple) else v)
+            for k, v in mapping.items()}
+
+
+def _check_known_keys(payload: Dict, known, what: str) -> None:
+    for key in payload:
+        if key not in known:
+            raise ValueError(f"unknown {what} field {key!r}; "
+                             f"known fields: {sorted(known)}")
+
+
+@dataclass
+class EvalSpec:
+    """Full-ranking evaluation protocol settings."""
+
+    ks: Tuple[int, ...] = (20, 40)
+    metrics: Tuple[str, ...] = ("recall", "ndcg")
+    chunk_size: Optional[int] = None   # None = auto-size from the memory
+                                       # budget (eval.auto_chunk_size)
+
+    def __post_init__(self):
+        self.ks = tuple(int(k) for k in self.ks)
+        self.metrics = tuple(str(m) for m in self.metrics)
+        from ..eval.metrics import METRIC_REGISTRY
+        for metric in self.metrics:
+            if metric not in METRIC_REGISTRY:
+                raise ValueError(f"unknown metric {metric!r}; "
+                                 f"available: {METRIC_REGISTRY.names()}")
+
+    def to_dict(self) -> Dict:
+        return {"ks": list(self.ks), "metrics": list(self.metrics),
+                "chunk_size": self.chunk_size}
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "EvalSpec":
+        _check_known_keys(payload, {f.name for f in fields(cls)}, "eval")
+        return cls(**payload)
+
+
+@dataclass
+class ArtifactSpec:
+    """Post-fit artifact paths, resolved through the callback registry.
+
+    Each non-``None`` path is written after training by the registered
+    callback of the same role (``best_checkpoint``, ``history_csv``,
+    ``serving_snapshot`` — see :data:`repro.train.CALLBACK_REGISTRY`).
+    Relative paths are joined under the run directory when one is given.
+    """
+
+    checkpoint: Optional[str] = None
+    history: Optional[str] = None
+    snapshot: Optional[str] = None
+
+    #: artifact role -> callback registry name
+    CALLBACKS = {"checkpoint": "best_checkpoint",
+                 "history": "history_csv",
+                 "snapshot": "serving_snapshot"}
+
+    def to_dict(self) -> Dict:
+        return {"checkpoint": self.checkpoint, "history": self.history,
+                "snapshot": self.snapshot}
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ArtifactSpec":
+        _check_known_keys(payload, {f.name for f in fields(cls)},
+                          "artifacts")
+        return cls(**payload)
+
+
+@dataclass
+class ExperimentSpec:
+    """One declarative experiment: dataset -> model -> eval -> artifacts.
+
+    ``model_config`` and ``train_config`` are override dicts onto
+    :class:`~repro.train.ModelConfig` / :class:`~repro.train.TrainConfig`
+    (unset fields keep the library defaults, exactly as the CLI flags
+    always did).  ``probes`` maps probe registry names to their option
+    dicts.  ``dataset`` is a registered name (synthetic profiles,
+    ``"tiny"``) or a file path (``.npz`` / TSV edge list) — see
+    :func:`repro.data.resolve_dataset`.
+    """
+
+    model: str
+    dataset: str
+    seed: int = 0
+    name: Optional[str] = None                 # run label; defaults to
+                                               # "<model>-<dataset>-seed<n>"
+    dataset_options: Dict = field(default_factory=dict)
+    model_config: Dict = field(default_factory=dict)
+    train_config: Dict = field(default_factory=dict)
+    eval: EvalSpec = field(default_factory=EvalSpec)
+    probes: Dict[str, Dict] = field(default_factory=dict)
+    artifacts: ArtifactSpec = field(default_factory=ArtifactSpec)
+
+    # ------------------------------------------------------------------ #
+    def __post_init__(self):
+        if not self.model:
+            raise ValueError("ExperimentSpec.model is required")
+        if not self.dataset:
+            raise ValueError("ExperimentSpec.dataset is required")
+        if isinstance(self.eval, dict):
+            self.eval = EvalSpec.from_dict(self.eval)
+        if isinstance(self.artifacts, dict):
+            self.artifacts = ArtifactSpec.from_dict(self.artifacts)
+        if isinstance(self.probes, (list, tuple)):
+            self.probes = {name: {} for name in self.probes}
+        # normalize override dicts to their JSON form (tuples -> lists)
+        # so a constructed spec equals its dict round trip exactly
+        self.dataset_options = _jsonify(self.dataset_options)
+        self.model_config = _jsonify(self.model_config)
+        self.train_config = _jsonify(self.train_config)
+        self.probes = {name: _jsonify(options)
+                       for name, options in self.probes.items()}
+        # validate names and override keys against the registries now, so
+        # a bad spec fails at construction rather than mid-pipeline
+        from ..models.registry import MODEL_REGISTRY
+        if self.model not in MODEL_REGISTRY:
+            raise ValueError(f"unknown model {self.model!r}; "
+                             f"available: {MODEL_REGISTRY.names()}")
+        from ..data import DATASET_REGISTRY
+        if self.dataset not in DATASET_REGISTRY \
+                and not os.path.exists(self.dataset) \
+                and not _looks_like_path(self.dataset):
+            # a bare word that is neither registered nor an existing file
+            # is a name typo, not a to-be-created path
+            raise ValueError(
+                f"unknown dataset {self.dataset!r}: not a registered "
+                f"name (available: {DATASET_REGISTRY.names()}), not an "
+                "existing file, and not path-shaped")
+        from ..eval import PROBE_REGISTRY
+        for probe in self.probes:
+            if probe not in PROBE_REGISTRY:
+                raise ValueError(f"unknown probe {probe!r}; "
+                                 f"available: {PROBE_REGISTRY.names()}")
+        # strict key check (and a dry type normalization) of the overrides
+        self.resolved_model_config()
+        self.resolved_train_config()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def run_name(self) -> str:
+        """Stable label for run directories and sweep cells."""
+        if self.name:
+            return self.name
+        stem = os.path.splitext(os.path.basename(self.dataset))[0]
+        return f"{self.model}-{stem}-seed{self.seed}"
+
+    def resolved_model_config(self) -> ModelConfig:
+        """The :class:`ModelConfig` this spec's overrides describe."""
+        return config_from_dict(ModelConfig, self.model_config,
+                                context="model_config")
+
+    def resolved_train_config(self) -> TrainConfig:
+        """The :class:`TrainConfig` this spec describes.
+
+        The ``eval`` block wires the trainer's evaluation protocol
+        (``eval_ks`` / ``eval_metrics`` / ``eval_chunk_size``) unless the
+        ``train_config`` overrides pin those fields explicitly.
+        """
+        config = config_from_dict(TrainConfig, self.train_config,
+                                  context="train_config")
+        wiring = {}
+        if "eval_ks" not in self.train_config:
+            wiring["eval_ks"] = self.eval.ks
+        if "eval_metrics" not in self.train_config:
+            wiring["eval_metrics"] = self.eval.metrics
+        if "eval_chunk_size" not in self.train_config:
+            wiring["eval_chunk_size"] = self.eval.chunk_size
+        return config.with_overrides(**wiring) if wiring else config
+
+    def with_overrides(self, **kwargs) -> "ExperimentSpec":
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # dict / file round trip
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict:
+        """Plain JSON-compatible dict; inverse of :meth:`from_dict`."""
+        return {
+            "model": self.model,
+            "dataset": self.dataset,
+            "seed": self.seed,
+            "name": self.name,
+            "dataset_options": _jsonify(self.dataset_options),
+            "model_config": _jsonify(self.model_config),
+            "train_config": _jsonify(self.train_config),
+            "eval": self.eval.to_dict(),
+            "probes": {name: _jsonify(options)
+                       for name, options in self.probes.items()},
+            "artifacts": self.artifacts.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ExperimentSpec":
+        """Strict inverse of :meth:`to_dict` (see module docstring)."""
+        if not isinstance(payload, dict):
+            raise TypeError("an experiment spec must be a dict, got "
+                            f"{type(payload).__name__}")
+        _check_known_keys(payload, {f.name for f in fields(cls)},
+                          "ExperimentSpec")
+        return cls(**payload)
+
+    @classmethod
+    def from_file(cls, path: str) -> "ExperimentSpec":
+        """Load one spec from a JSON file."""
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+    def save(self, path: str) -> str:
+        """Write the spec as JSON; the file loads back via `from_file`."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path

@@ -1,182 +1,247 @@
-"""Command-line interface: ``python -m repro.cli <command>``.
+"""Command-line interface: ``repro <command>`` / ``python -m repro``.
+
+The CLI is a thin shell over the declarative experiment facade
+(:mod:`repro.api`): every subcommand builds an
+:class:`~repro.api.ExperimentSpec` (or loads one from a file) and hands
+it to :class:`~repro.api.Experiment` — no training or evaluation logic
+lives here.
 
 Commands
 --------
+``run``        run a spec file (one spec or a list; optional sweep axes)
 ``train``      train any registered model on a dataset profile or TSV file
 ``evaluate``   load a saved checkpoint and re-evaluate it
 ``recommend``  serve top-k recommendations from a serving snapshot
                (training one first when the snapshot doesn't exist yet)
 ``models``     list the registry
-``datasets``   print Table-I style statistics for the synthetic profiles
+``datasets``   list registered datasets with Table-I style statistics
 
 Examples::
 
-    python -m repro.cli models
-    python -m repro.cli train --model graphaug --dataset gowalla \
+    python -m repro models
+    python -m repro run spec.json --run-dir runs/exp1
+    python -m repro run spec.json --sweep-models lightgcn,sgl \
+        --sweep-seeds 0,1 --run-dir runs/sweep
+    python -m repro train --model graphaug --dataset gowalla \
         --epochs 60 --checkpoint best.npz --history history.csv
-    python -m repro.cli evaluate --model graphaug --dataset gowalla \
+    python -m repro evaluate --model graphaug --dataset gowalla \
         --checkpoint best.npz
-    python -m repro.cli recommend --snapshot serve.npz --model lightgcn \
+    python -m repro recommend --snapshot serve.npz --model lightgcn \
         --dataset gowalla --users 0,1,2 --k 20 --workers 4
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import json
 import os
 import sys
+import warnings
 from typing import Optional
 
-from .data import PROFILES, load_profile, load_tsv
-from .eval import evaluate_model
-from .models import available_models, build_model
-from .train import ModelConfig, TrainConfig, fit_model
-from .train.callbacks import (BestCheckpoint, history_to_csv, load_state)
+from .api import (Experiment, ExperimentSpec, expand_grid, recommend_topk,
+                  run_sweep)
+from .data import available_datasets, resolve_dataset
+from .models import available_models
 
 
-def _load_dataset(args):
-    if args.dataset in PROFILES:
-        return load_profile(args.dataset, seed=args.seed)
-    return load_tsv(args.dataset, test_fraction=0.2, seed=args.seed)
+# --------------------------------------------------------------------- #
+# spec construction from flags
+# --------------------------------------------------------------------- #
+
+def _spec_from_args(args, fit: bool = True) -> ExperimentSpec:
+    """The spec the legacy flag set describes (flag defaults included,
+    matching the historical CLI behaviour exactly)."""
+    train_config = {}
+    if fit:
+        train_config = {"epochs": args.epochs,
+                        "batch_size": args.batch_size,
+                        "learning_rate": args.lr,
+                        "verbose": not args.quiet}
+        if getattr(args, "eval_every", None) is not None:
+            train_config["eval_every"] = args.eval_every
+    eval_spec = {}
+    if getattr(args, "eval_chunk", None) is not None:
+        eval_spec = {"chunk_size": args.eval_chunk}
+    artifacts = {"checkpoint": getattr(args, "checkpoint", None),
+                 "history": getattr(args, "history", None),
+                 "snapshot": getattr(args, "snapshot", None)}
+    return ExperimentSpec(
+        model=args.model,
+        dataset=args.dataset,
+        seed=args.seed,
+        model_config={"embedding_dim": args.dim,
+                      "num_layers": args.layers,
+                      "ssl_weight": args.ssl_weight,
+                      "temperature": args.temperature,
+                      "edge_threshold": args.edge_threshold},
+        train_config=train_config,
+        eval=eval_spec or {},
+        artifacts=artifacts,
+    )
 
 
-def _model_config(args) -> ModelConfig:
-    return ModelConfig(embedding_dim=args.dim, num_layers=args.layers,
-                       ssl_weight=args.ssl_weight,
-                       temperature=args.temperature,
-                       edge_threshold=args.edge_threshold)
+def _print_metrics(metrics) -> None:
+    for key, value in sorted(metrics.items()):
+        print(f"  {key:12s} {value:.4f}")
 
 
-def cmd_models(args) -> int:
+# --------------------------------------------------------------------- #
+# subcommand handlers (thin wrappers over repro.api)
+# --------------------------------------------------------------------- #
+
+def _cmd_models(args) -> int:
     """List every registered model name."""
     for name in available_models():
         print(name)
     return 0
 
 
-def cmd_datasets(args) -> int:
-    """Print Table-I style statistics for the synthetic profiles."""
+def _cmd_datasets(args) -> int:
+    """Print Table-I style statistics for the registered datasets."""
     print(f"{'name':>14s} {'users':>6s} {'items':>6s} "
           f"{'interactions':>12s} {'density':>9s}")
-    for name in PROFILES:
-        stats = load_profile(name, seed=args.seed).statistics()
+    for name in available_datasets():
+        stats = resolve_dataset(name, seed=args.seed).statistics()
         print(f"{name:>14s} {stats['users']:6d} {stats['items']:6d} "
               f"{stats['interactions']:12d} {stats['density']:9.2e}")
     return 0
 
 
-def cmd_train(args) -> int:
-    """Train a model and optionally persist checkpoint/history."""
-    dataset = _load_dataset(args)
-    print(f"dataset: {dataset}")
-    model = build_model(args.model, dataset, _model_config(args),
-                        seed=args.seed)
-    print(f"model:   {args.model} ({model.num_parameters():,} parameters)")
-    if args.snapshot:
-        from .serve import resolve_snapshot_path
-        args.snapshot = resolve_snapshot_path(args.snapshot)
-    train_config = TrainConfig(
-        epochs=args.epochs, batch_size=args.batch_size,
-        eval_every=args.eval_every, learning_rate=args.lr,
-        snapshot_path=args.snapshot, verbose=not args.quiet)
-    result = fit_model(model, dataset, train_config, seed=args.seed)
+def _cmd_train(args) -> int:
+    """Train via the facade; optionally persist artifacts / a run dir."""
+    spec = _spec_from_args(args)
+    experiment = Experiment(spec)
+    print(f"dataset: {experiment.dataset()}")
+    result = experiment.run(run_dir=args.run_dir)
+    print(f"model:   {spec.model} "
+          f"({experiment.model.num_parameters():,} parameters)")
     print(f"\nbest epoch {result.best_epoch} "
           f"(train {result.train_seconds:.1f}s, "
           f"eval {result.eval_seconds:.1f}s):")
-    for key, value in sorted(result.best_metrics.items()):
-        print(f"  {key:12s} {value:.4f}")
-    if args.checkpoint:
-        ckpt = BestCheckpoint(path=args.checkpoint)
-        ckpt.update(model, result.best_metrics or {"recall@20": 0.0})
-        print(f"checkpoint -> {args.checkpoint}")
-    if args.history:
-        history_to_csv(result, args.history)
-        print(f"history    -> {args.history}")
-    if args.snapshot:
-        print(f"snapshot   -> {args.snapshot}")
+    _print_metrics(result.metrics)
+    for role, path in sorted(result.artifacts.items()):
+        print(f"{role:10s} -> {path}")
     return 0
 
 
-def cmd_recommend(args) -> int:
-    """Serve top-k recommendations from a snapshot (training if absent).
+def _cmd_evaluate(args) -> int:
+    """Evaluate a (possibly checkpointed) model via the facade."""
+    spec = _spec_from_args(args, fit=False)
+    if args.checkpoint:
+        print(f"loaded checkpoint {args.checkpoint}")
+    metrics = Experiment(spec).evaluate(checkpoint=args.checkpoint)
+    _print_metrics(metrics)
+    return 0
 
-    When ``--snapshot`` names an existing artifact it is served as-is —
-    no dataset load, no model training.  Otherwise a model is trained on
-    the dataset, snapshotted to that path, and served from the artifact
-    just written (so the emitted lists always come from the snapshot
-    path, proving the round trip).
-    """
-    from .serve import RecommenderService, resolve_snapshot_path
 
-    # save_snapshot always writes under .npz; resolve once so the
-    # existence check, the training write and the reload agree
-    args.snapshot = resolve_snapshot_path(args.snapshot)
-    if not os.path.exists(args.snapshot):
-        if not args.model or not args.dataset:
-            print("snapshot does not exist; --model and --dataset are "
-                  "required to train one", file=sys.stderr)
-            return 2
-        dataset = _load_dataset(args)
-        print(f"dataset:  {dataset}")
-        model = build_model(args.model, dataset, _model_config(args),
-                            seed=args.seed)
-        train_config = TrainConfig(
-            epochs=args.epochs, batch_size=args.batch_size,
-            learning_rate=args.lr, snapshot_path=args.snapshot,
-            verbose=not args.quiet)
-        result = fit_model(model, dataset, train_config, seed=args.seed)
-        print(f"trained {args.model} for {len(result.history)} epochs "
-              f"({result.train_seconds:.1f}s)")
-    service = RecommenderService.from_snapshot(args.snapshot,
-                                               num_workers=args.workers)
-    stats = service.stats()
-    print(f"serving:  {stats['model']} ({stats['backend']} backend, "
-          f"{stats['num_workers']} worker(s))")
+def _cmd_recommend(args) -> int:
+    """Serve top-k lists from a snapshot (training one when missing)."""
+    from .serve import resolve_snapshot_path
+
+    train_spec = None
+    if args.model and args.dataset:
+        train_spec = _spec_from_args(args)
+    if train_spec is None and \
+            not os.path.exists(resolve_snapshot_path(args.snapshot)):
+        print("snapshot does not exist; --model and --dataset are "
+              "required to train one", file=sys.stderr)
+        return 2
+    users = None
     if args.users:
-        import numpy as np
-        users = np.array([int(u) for u in args.users.split(",")],
-                         dtype=np.int64)
-    else:
-        users = None
-    lists = service.recommend(users, k=args.k,
-                              exclude_seen=not args.include_seen)
-    if users is None:
-        import numpy as np
-        users = np.arange(service.num_users, dtype=np.int64)
-    payload = {
-        "model": stats["model"],
-        "k": args.k,
-        "exclude_seen": not args.include_seen,
-        "recommendations": {str(int(u)): [int(i) for i in row]
-                            for u, row in zip(users, lists)},
-    }
-    text = json.dumps(payload, indent=2)
+        users = [int(u) for u in args.users.split(",")]
+    payload = recommend_topk(args.snapshot, users=users, k=args.k,
+                             num_workers=args.workers,
+                             exclude_seen=not args.include_seen,
+                             train_spec=train_spec)
+    print(f"serving:  {payload['model']} ({payload['backend']} backend, "
+          f"{payload['num_workers']} worker(s))")
+    text = json.dumps({"model": payload["model"], "k": payload["k"],
+                       "exclude_seen": payload["exclude_seen"],
+                       "recommendations": payload["recommendations"]},
+                      indent=2)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text + "\n")
-        print(f"top-{args.k} lists for {len(users)} users -> {args.output}")
+        print(f"top-{args.k} lists for {payload['num_users']} users "
+              f"-> {args.output}")
     else:
         print(text)
-    service.close()
     return 0
 
 
-def cmd_evaluate(args) -> int:
-    """Evaluate a (possibly checkpointed) model on a dataset."""
-    dataset = _load_dataset(args)
-    model = build_model(args.model, dataset, _model_config(args),
-                        seed=args.seed)
-    if args.checkpoint:
-        model.load_state_dict(load_state(args.checkpoint))
-        print(f"loaded checkpoint {args.checkpoint}")
-    # chunked ranking: never materializes the dense all-pairs matrix
-    metrics = evaluate_model(model, dataset, ks=(20, 40),
-                             chunk_size=args.eval_chunk)
-    for key, value in sorted(metrics.items()):
-        print(f"  {key:12s} {value:.4f}")
+def _cmd_run(args) -> int:
+    """Run a spec file (single spec or list; optional sweep axes)."""
+    with open(args.spec) as handle:
+        payload = json.load(handle)
+    specs = payload if isinstance(payload, list) else [payload]
+    specs = [ExperimentSpec.from_dict(entry) for entry in specs]
+
+    axes = {key: getattr(args, f"sweep_{key}") or None
+            for key in ("models", "datasets", "seeds")}
+    if any(axes.values()):
+        expanded = []
+        for spec in specs:
+            expanded.extend(expand_grid(
+                spec,
+                models=axes["models"].split(",") if axes["models"] else None,
+                datasets=(axes["datasets"].split(",")
+                          if axes["datasets"] else None),
+                seeds=([int(s) for s in axes["seeds"].split(",")]
+                       if axes["seeds"] else None)))
+        specs = expanded
+
+    # --quiet forces silence; otherwise each spec's own verbose setting
+    # stands (None = no override)
+    verbose = False if args.quiet else None
+    if len(specs) == 1 and not args.run_dir:
+        result = Experiment(specs[0]).run(verbose=verbose)
+        print(f"{specs[0].run_name}: best epoch {result.best_epoch}")
+        _print_metrics(result.metrics)
+        return 0
+
+    results = run_sweep(specs, base_dir=args.run_dir, verbose=verbose)
+    for result in results:
+        where = f" -> {result.run_dir}" if result.run_dir else ""
+        best = " ".join(f"{k}={v:.4f}"
+                        for k, v in sorted(result.metrics.items()))
+        print(f"{result.spec.run_name}: {best}{where}")
     return 0
 
+
+# --------------------------------------------------------------------- #
+# deprecated function-level entry points (one release of grace)
+# --------------------------------------------------------------------- #
+
+def _deprecated(replacement: str):
+    """Mark an old entry point; each call emits one DeprecationWarning."""
+    def decorate(func):
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            warnings.warn(
+                f"repro.cli.{func.__name__.lstrip('_')} is deprecated; "
+                f"use {replacement} instead",
+                DeprecationWarning, stacklevel=2)
+            return func(*args, **kwargs)
+        wrapper.__name__ = func.__name__.lstrip("_")
+        return wrapper
+    return decorate
+
+
+cmd_models = _deprecated("main(['models'])")(_cmd_models)
+cmd_datasets = _deprecated("main(['datasets'])")(_cmd_datasets)
+cmd_train = _deprecated(
+    "repro.api.Experiment(spec).run()")(_cmd_train)
+cmd_evaluate = _deprecated(
+    "repro.api.Experiment(spec).evaluate(checkpoint=...)")(_cmd_evaluate)
+cmd_recommend = _deprecated(
+    "repro.api.recommend_topk(...)")(_cmd_recommend)
+
+
+# --------------------------------------------------------------------- #
+# parser
+# --------------------------------------------------------------------- #
 
 def _add_model_args(p: argparse.ArgumentParser) -> None:
     """Model hyperparameters shared by train / evaluate / recommend."""
@@ -209,14 +274,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_data = sub.add_parser("datasets", help="print dataset statistics")
     p_data.add_argument("--seed", type=int, default=0)
 
+    p_run = sub.add_parser(
+        "run", help="run an experiment spec file (JSON; one spec or a "
+                    "list of specs)")
+    p_run.add_argument("spec", help="path to the spec JSON "
+                                    "(see repro.api.ExperimentSpec)")
+    p_run.add_argument("--run-dir", default=None, dest="run_dir",
+                       help="write replayable run directories here (one "
+                            "per spec)")
+    p_run.add_argument("--sweep-models", default=None, dest="sweep_models",
+                       help="comma-separated model axis to grid over")
+    p_run.add_argument("--sweep-datasets", default=None,
+                       dest="sweep_datasets",
+                       help="comma-separated dataset axis to grid over")
+    p_run.add_argument("--sweep-seeds", default=None, dest="sweep_seeds",
+                       help="comma-separated seed axis to grid over")
+    p_run.add_argument("--quiet", action="store_true")
+
     for name, help_text in (("train", "train a model"),
                             ("evaluate", "evaluate a checkpoint")):
         p = sub.add_parser(name, help=help_text)
         p.add_argument("--model", required=True,
                        choices=available_models())
         p.add_argument("--dataset", required=True,
-                       help="profile name (gowalla/retail_rocket/amazon) "
-                            "or path to a TSV edge list")
+                       help="registered dataset (gowalla/retail_rocket/"
+                            "amazon/tiny) or path to a TSV edge list")
         _add_model_args(p)
         p.add_argument("--checkpoint", default=None)
         if name == "evaluate":
@@ -234,6 +316,8 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--snapshot", default=None,
                            help="write an end-of-fit serving snapshot "
                                 "(repro.serve) here")
+            p.add_argument("--run-dir", default=None, dest="run_dir",
+                           help="write a replayable run directory here")
 
     p_rec = sub.add_parser(
         "recommend",
@@ -245,8 +329,8 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=available_models(),
                        help="model to train when the snapshot is missing")
     p_rec.add_argument("--dataset", default=None,
-                       help="profile name or TSV path (only needed when "
-                            "training)")
+                       help="registered dataset or TSV path (only needed "
+                            "when training)")
     p_rec.add_argument("--users", default=None,
                        help="comma-separated user ids (default: all users)")
     p_rec.add_argument("--k", type=int, default=20)
@@ -266,9 +350,9 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    handlers = {"models": cmd_models, "datasets": cmd_datasets,
-                "train": cmd_train, "evaluate": cmd_evaluate,
-                "recommend": cmd_recommend}
+    handlers = {"models": _cmd_models, "datasets": _cmd_datasets,
+                "train": _cmd_train, "evaluate": _cmd_evaluate,
+                "recommend": _cmd_recommend, "run": _cmd_run}
     return handlers[args.command](args)
 
 

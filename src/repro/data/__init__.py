@@ -5,7 +5,8 @@ from .synthetic import (SyntheticProfile, PROFILES, generate_synthetic,
                         load_profile, tiny_dataset)
 from .splits import holdout_split, degree_groups, quantile_groups
 from .sampler import BPRSampler, negative_sample_matrix
-from .loaders import save_npz, load_npz, load_tsv, save_tsv
+from .loaders import (save_npz, load_npz, load_tsv, save_tsv,
+                      DATASET_REGISTRY, available_datasets, resolve_dataset)
 from .preprocess import k_core, compact, popularity_statistics
 
 __all__ = [
@@ -15,5 +16,6 @@ __all__ = [
     "holdout_split", "degree_groups", "quantile_groups",
     "BPRSampler", "negative_sample_matrix",
     "save_npz", "load_npz", "load_tsv", "save_tsv",
+    "DATASET_REGISTRY", "available_datasets", "resolve_dataset",
     "k_core", "compact", "popularity_statistics",
 ]

@@ -3,6 +3,12 @@
 Lets a downstream user bring their own Gowalla/Retail Rocket/Amazon dumps:
 the standard distribution format for these corpora is a whitespace-separated
 ``user item`` edge list, which :func:`load_tsv` accepts directly.
+
+This module also owns the ``"dataset"`` component registry: every
+synthetic profile is registered by name (plus ``"tiny"``, the unit-test
+dataset), and :func:`resolve_dataset` is the one resolution rule the
+experiment facade and the CLI share — registry name first, then file
+path by extension (``.npz`` or edge-list TSV).
 """
 
 from __future__ import annotations
@@ -15,7 +21,11 @@ import scipy.sparse as sp
 
 from .dataset import InteractionDataset
 from .splits import holdout_split
+from .synthetic import PROFILES, load_profile, tiny_dataset
 from ..graph import InteractionGraph
+from ..utils import component_registry
+
+DATASET_REGISTRY = component_registry("dataset")
 
 
 def save_npz(dataset: InteractionDataset, path: str) -> None:
@@ -98,6 +108,55 @@ def load_tsv(path: str, name: Optional[str] = None,
     return InteractionDataset(
         name=name or os.path.splitext(os.path.basename(path))[0],
         train=train, test_matrix=test)
+
+
+def _register_profile(name: str) -> None:
+    @DATASET_REGISTRY.register(name)
+    def _loader(seed: int = 0, **options) -> InteractionDataset:
+        return load_profile(name, seed=seed, **options)
+
+
+for _name in PROFILES:
+    _register_profile(_name)
+
+
+@DATASET_REGISTRY.register("tiny")
+def _load_tiny(seed: int = 0, **options) -> InteractionDataset:
+    return tiny_dataset(seed=seed, **options)
+
+
+def available_datasets() -> list:
+    """Sorted list of registered dataset names."""
+    return DATASET_REGISTRY.names()
+
+
+def resolve_dataset(source: str, seed: int = 0,
+                    **options) -> InteractionDataset:
+    """Load a dataset from a registry name or a file path.
+
+    Resolution order: a registered name (synthetic profiles plus
+    ``"tiny"``) wins; otherwise the string is treated as a path —
+    ``.npz`` artifacts go through :func:`load_npz`, anything else
+    through :func:`load_tsv`.  ``options`` are forwarded to the loader
+    (e.g. ``test_fraction`` for profiles and TSV files); an ``.npz``
+    artifact is fully materialized (its split is baked in), so options
+    for it are an error rather than silently ignored (``seed`` has no
+    effect on it either).
+    """
+    if source in DATASET_REGISTRY:
+        return DATASET_REGISTRY.get(source)(seed=seed, **options)
+    if os.path.exists(source):
+        if source.endswith(".npz"):
+            if options:
+                raise ValueError(
+                    f"dataset options {sorted(options)} cannot apply to "
+                    f"the .npz artifact {source!r}: its split is baked "
+                    "in at save time")
+            return load_npz(source)
+        return load_tsv(source, seed=seed, **options)
+    raise ValueError(
+        f"cannot resolve dataset {source!r}: not a registered name "
+        f"(available: {available_datasets()}) and no such file")
 
 
 def save_tsv(dataset: InteractionDataset, path: str,

@@ -2,15 +2,16 @@
 
 from .metrics import (recall_at_k, ndcg_at_k, precision_at_k, hit_rate_at_k,
                       mrr, mrr_at_k, average_precision, compute_user_metrics,
-                      aggregate_metrics, block_hits, compute_block_metrics)
+                      aggregate_metrics, block_hits, compute_block_metrics,
+                      METRIC_REGISTRY)
 from .protocol import (rank_items, rank_items_block, scorer_from,
                        evaluate_ranking, evaluate_scores, evaluate_model,
                        top_k_lists, auto_chunk_size, DEFAULT_CHUNK_SIZE,
                        DEFAULT_CHUNK_BUDGET_BYTES)
 from .mad import mean_average_distance, neighbour_smoothness
 from .uniformity import uniformity, alignment, radial_spread, pca_projection
-from .groups import evaluate_user_groups, evaluate_item_groups
-from .robustness import noise_robustness_curve
+from .groups import evaluate_user_groups, evaluate_item_groups, PROBE_REGISTRY
+from .robustness import noise_robustness_curve, noise_robustness_probe
 from .beyond_accuracy import (item_coverage, gini_index, novelty,
                               intra_list_distance, exposure_counts,
                               beyond_accuracy_report)
@@ -19,14 +20,15 @@ __all__ = [
     "recall_at_k", "ndcg_at_k", "precision_at_k", "hit_rate_at_k", "mrr",
     "mrr_at_k", "average_precision", "compute_user_metrics",
     "aggregate_metrics", "block_hits", "compute_block_metrics",
+    "METRIC_REGISTRY",
     "rank_items", "rank_items_block", "scorer_from",
     "evaluate_ranking", "evaluate_scores", "evaluate_model",
     "top_k_lists", "auto_chunk_size", "DEFAULT_CHUNK_SIZE",
     "DEFAULT_CHUNK_BUDGET_BYTES",
     "mean_average_distance", "neighbour_smoothness",
     "uniformity", "alignment", "radial_spread", "pca_projection",
-    "evaluate_user_groups", "evaluate_item_groups",
-    "noise_robustness_curve",
+    "evaluate_user_groups", "evaluate_item_groups", "PROBE_REGISTRY",
+    "noise_robustness_curve", "noise_robustness_probe",
     "item_coverage", "gini_index", "novelty", "intra_list_distance",
     "exposure_counts", "beyond_accuracy_report",
 ]

@@ -28,6 +28,9 @@ import numpy as np
 
 from .protocol import top_k_lists
 from ..data import InteractionDataset
+from ..utils import component_registry
+
+PROBE_REGISTRY = component_registry("probe")
 
 
 # --------------------------------------------------------------------- #
@@ -113,6 +116,7 @@ def intra_list_distance(scores, dataset: InteractionDataset,
                                    item_embeddings, eps)
 
 
+@PROBE_REGISTRY.register("beyond_accuracy")
 def beyond_accuracy_report(scores,
                            dataset: InteractionDataset,
                            item_embeddings: Optional[np.ndarray] = None,

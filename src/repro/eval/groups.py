@@ -18,6 +18,9 @@ import scipy.sparse as sp
 from .protocol import evaluate_ranking, scorer_from
 from ..data import InteractionDataset
 from ..data.splits import quantile_groups
+from ..utils import component_registry
+
+PROBE_REGISTRY = component_registry("probe")
 
 
 def _restrict_test_to_items(test_matrix: sp.csr_matrix,
@@ -30,6 +33,7 @@ def _restrict_test_to_items(test_matrix: sp.csr_matrix,
                          shape=test_matrix.shape)
 
 
+@PROBE_REGISTRY.register("user_groups")
 def evaluate_user_groups(scores, dataset: InteractionDataset,
                          num_groups: int = 5,
                          ks: Sequence[int] = (40,),
@@ -57,6 +61,7 @@ def evaluate_user_groups(scores, dataset: InteractionDataset,
     return out
 
 
+@PROBE_REGISTRY.register("item_groups")
 def evaluate_item_groups(scores, dataset: InteractionDataset,
                          num_groups: int = 5,
                          ks: Sequence[int] = (40,),

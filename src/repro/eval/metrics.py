@@ -24,6 +24,8 @@ from typing import Dict, Iterable, Sequence
 
 import numpy as np
 
+from ..utils import component_registry
+
 
 def recall_at_k(ranked: np.ndarray, positives: np.ndarray, k: int) -> float:
     """Fraction of the user's test positives present in the top ``k``."""
@@ -91,6 +93,13 @@ _METRIC_FUNCS = {
     "mrr": mrr_at_k,
     "map": average_precision,
 }
+
+#: the ``"metric"`` component registry mirrors the metric names so the
+#: experiment facade can validate an ``EvalSpec`` without running one —
+#: both the per-user reference and the block kernels key on these names
+METRIC_REGISTRY = component_registry("metric")
+for _metric_name, _metric_func in _METRIC_FUNCS.items():
+    METRIC_REGISTRY.register(_metric_name)(_metric_func)
 
 
 def compute_user_metrics(ranked: np.ndarray, positives: np.ndarray,

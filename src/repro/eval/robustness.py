@@ -15,6 +15,9 @@ import numpy as np
 from .protocol import evaluate_ranking, scorer_from
 from ..data import InteractionDataset
 from ..graph import inject_fake_edges
+from ..utils import component_registry
+
+PROBE_REGISTRY = component_registry("probe")
 
 
 def noise_robustness_curve(
@@ -63,3 +66,41 @@ def noise_robustness_curve(
             baseline = value if value > 0 else 1e-12
         curve[ratio] = value / baseline
     return curve
+
+
+@PROBE_REGISTRY.register("noise_robustness")
+def noise_robustness_probe(model, dataset: InteractionDataset,
+                           noise_ratios: Sequence[float] = (0.0, 0.1, 0.25),
+                           metric: str = "recall@20",
+                           epochs: int = 10, batch_size: int = 512,
+                           learning_rate: float = 1e-3,
+                           seed: int = 0) -> Dict[str, float]:
+    """Spec-driven probe form of :func:`noise_robustness_curve`.
+
+    Retrains the *trained* model's family (same registry name, config and
+    construction seed) on each noisy copy — the probe registry contract
+    is ``probe(model, dataset, **options)``, so the training closure is
+    derived from the model instead of passed in.  Keys are stringified
+    ratios (JSON-friendly for the run directory).
+    """
+    # deferred: repro.eval must not hard-import the model zoo
+    from ..models import build_model
+    from ..train import TrainConfig, fit_model
+
+    name = getattr(model, "name", type(model).__name__)
+    construction_seed = int(getattr(model, "seed", 0))
+
+    def train_fn(noisy: InteractionDataset):
+        fresh = build_model(name, noisy, model.config,
+                            seed=construction_seed)
+        fit_model(fresh, noisy,
+                  TrainConfig(epochs=epochs, batch_size=batch_size,
+                              learning_rate=learning_rate,
+                              eval_every=max(1, epochs)),
+                  seed=seed)
+        return fresh
+
+    curve = noise_robustness_curve(train_fn, dataset,
+                                   noise_ratios=tuple(noise_ratios),
+                                   metric=metric, seed=seed)
+    return {f"{ratio:g}": float(value) for ratio, value in curve.items()}

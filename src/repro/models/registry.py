@@ -1,7 +1,10 @@
 """The model registry: string name -> model class.
 
 Benchmarks and examples build models by name so the Table II harness can
-sweep the whole zoo with one loop.
+sweep the whole zoo with one loop.  The registry is the ``"model"`` kind
+of the process-wide component table (:func:`repro.utils.
+component_registry`), which is how the declarative experiment facade
+(:mod:`repro.api`) resolves ``ExperimentSpec.model``.
 """
 
 from __future__ import annotations
@@ -10,9 +13,9 @@ from typing import Optional
 
 from ..data import InteractionDataset
 from ..train.config import ModelConfig
-from ..utils import Registry
+from ..utils import component_registry
 
-MODEL_REGISTRY = Registry("model")
+MODEL_REGISTRY = component_registry("model")
 
 
 def build_model(name: str, dataset: InteractionDataset,

@@ -14,7 +14,10 @@ One compressed ``.npz`` artifact (see :mod:`repro.serve.snapshot`):
 ====================  ===================================================
 entry                 contents
 ====================  ===================================================
-``meta_json``         JSON: schema id, model registry name,
+``meta_json``         JSON: schema id, ``format_version`` (see
+                      :data:`SNAPSHOT_FORMAT_VERSION`; absent =
+                      version 1, migrated on load, newer-than-supported
+                      rejected), model registry name,
                       :class:`~repro.train.ModelConfig` fields,
                       construction seed, parameter dtype,
                       ``num_users`` / ``num_items``, dataset name
@@ -66,13 +69,13 @@ Typical round trip::
     service.partial_update([3], [topk[0, 0]])   # user 3 consumed an item
 """
 
-from .snapshot import (SNAPSHOT_SCHEMA, Snapshot, load_snapshot,
-                       resolve_snapshot_path, save_snapshot)
+from .snapshot import (SNAPSHOT_SCHEMA, SNAPSHOT_FORMAT_VERSION, Snapshot,
+                       load_snapshot, resolve_snapshot_path, save_snapshot)
 from .service import RecommenderService
 from .sharding import ShardedExecutor, partition_users
 
 __all__ = [
-    "SNAPSHOT_SCHEMA", "Snapshot", "load_snapshot",
-    "resolve_snapshot_path", "save_snapshot",
+    "SNAPSHOT_SCHEMA", "SNAPSHOT_FORMAT_VERSION", "Snapshot",
+    "load_snapshot", "resolve_snapshot_path", "save_snapshot",
     "RecommenderService", "ShardedExecutor", "partition_users",
 ]

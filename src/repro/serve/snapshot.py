@@ -37,21 +37,53 @@ import scipy.sparse as sp
 
 from ..data import InteractionDataset
 from ..graph import InteractionGraph
-from ..train.config import ModelConfig
+from ..train.config import ModelConfig, config_to_dict
 
 #: schema id embedded in every snapshot's ``meta_json``
 SNAPSHOT_SCHEMA = "repro-serve-snapshot/v1"
 
+#: current snapshot format version, stamped into ``meta_json``.
+#:
+#: * **1** — the original artifact (no ``format_version`` field); its
+#:   array layout is identical to v2, so loading migrates it in place by
+#:   stamping the field.
+#: * **2** — ``format_version`` present.  Future layout changes bump
+#:   this and add a migration step in :func:`_migrate_meta`; artifacts
+#:   from a *newer* writer are rejected with a clear error instead of
+#:   being misread.
+SNAPSHOT_FORMAT_VERSION = 2
+
 _PARAM_PREFIX = "param::"
 
 
-def _config_to_dict(config: ModelConfig) -> Dict:
-    return {f.name: (list(v) if isinstance(v := getattr(config, f.name),
-                                           tuple) else v)
-            for f in fields(config)}
+def _migrate_meta(meta: Dict, path: str) -> Dict:
+    """Bring a loaded ``meta_json`` document up to the current version.
+
+    Version-absent artifacts (written before versioning existed) are
+    treated as v1 and migrated by stamping the field — their array
+    layout already matches.  Versions newer than this library's are an
+    error: a rolling deployment must upgrade the reader before the
+    writer.
+    """
+    version = meta.get("format_version", 1)
+    if not isinstance(version, int) or version < 1:
+        raise ValueError(f"invalid snapshot format_version {version!r} "
+                         f"in {path}")
+    if version > SNAPSHOT_FORMAT_VERSION:
+        raise ValueError(
+            f"snapshot {path} has format_version {version}, but this "
+            f"version of repro reads at most {SNAPSHOT_FORMAT_VERSION}; "
+            "upgrade repro to load it")
+    meta = dict(meta)
+    meta["format_version"] = SNAPSHOT_FORMAT_VERSION
+    return meta
 
 
 def _config_from_dict(payload: Dict) -> ModelConfig:
+    # deliberately lenient (unlike repro.train.config_from_dict): a
+    # snapshot written by a newer same-format repro may carry config
+    # fields this build doesn't know; ignoring them keeps old readers
+    # working, which is the forward-compat half of the version contract
     known = {f.name for f in fields(ModelConfig)}
     kwargs = {k: (tuple(v) if isinstance(v, list) else v)
               for k, v in payload.items() if k in known}
@@ -85,8 +117,9 @@ def save_snapshot(model, dataset: InteractionDataset, path: str) -> str:
         train.sort_indices()
     meta = {
         "schema": SNAPSHOT_SCHEMA,
+        "format_version": SNAPSHOT_FORMAT_VERSION,
         "model": getattr(model, "name", type(model).__name__),
-        "config": _config_to_dict(model.config),
+        "config": config_to_dict(model.config),
         "seed": int(getattr(model, "seed", 0)),
         "dtype": np.dtype(dtype).name,
         "num_users": int(dataset.num_users),
@@ -173,6 +206,7 @@ def load_snapshot(path: str) -> Snapshot:
             raise ValueError(f"unsupported snapshot schema "
                              f"{meta.get('schema')!r} in {path} "
                              f"(expected {SNAPSHOT_SCHEMA})")
+        meta = _migrate_meta(meta, path)
         state = {name[len(_PARAM_PREFIX):]: blob[name]
                  for name in blob.files if name.startswith(_PARAM_PREFIX)}
         shape = (int(meta["num_users"]), int(meta["num_items"]))

@@ -1,11 +1,14 @@
 """``repro.train`` — configs and the shared training loop."""
 
-from .config import ModelConfig, TrainConfig, fast_test_configs
+from .config import (ModelConfig, TrainConfig, fast_test_configs,
+                     config_to_dict, config_from_dict)
 from .trainer import Trainer, FitResult, EpochRecord, fit_model
-from .callbacks import (BestCheckpoint, ServingSnapshot, save_state,
-                        load_state, history_to_csv, history_to_json)
+from .callbacks import (BestCheckpoint, ServingSnapshot, CALLBACK_REGISTRY,
+                        save_state, load_state, history_to_csv,
+                        history_to_json)
 
 __all__ = ["ModelConfig", "TrainConfig", "fast_test_configs",
+           "config_to_dict", "config_from_dict",
            "Trainer", "FitResult", "EpochRecord", "fit_model",
-           "BestCheckpoint", "ServingSnapshot", "save_state", "load_state",
-           "history_to_csv", "history_to_json"]
+           "BestCheckpoint", "ServingSnapshot", "CALLBACK_REGISTRY",
+           "save_state", "load_state", "history_to_csv", "history_to_json"]

@@ -3,6 +3,13 @@
 The Trainer itself stays minimal; these utilities cover the two things a
 practitioner needs around it — saving the best parameters seen so far and
 dumping training curves for plotting.
+
+The post-fit artifact writers are also the ``"callback"`` component
+registry (:func:`repro.utils.component_registry`): each entry has the
+uniform signature ``callback(model, dataset, result, path) -> str`` and
+is resolvable by name from an :class:`repro.api.ExperimentSpec`
+(``checkpoint`` -> ``"best_checkpoint"``, ``history`` ->
+``"history_csv"``, ``snapshot`` -> ``"serving_snapshot"``).
 """
 
 from __future__ import annotations
@@ -15,6 +22,9 @@ from typing import Dict, Optional
 import numpy as np
 
 from .trainer import FitResult
+from ..utils import component_registry
+
+CALLBACK_REGISTRY = component_registry("callback")
 
 
 class BestCheckpoint:
@@ -93,6 +103,38 @@ def _escape(name: str) -> str:
 
 def _unescape(name: str) -> str:
     return name.replace("__slash__", "/")
+
+
+@CALLBACK_REGISTRY.register("best_checkpoint")
+def write_checkpoint(model, dataset, result: FitResult, path: str) -> str:
+    """Persist the model's end-of-fit parameters as a bare checkpoint.
+
+    (The CLI's historical behaviour: one ``save_state`` of the final
+    ``state_dict``, reloadable through :func:`load_state`.)
+    """
+    save_state(model.state_dict(), path)
+    return path
+
+
+@CALLBACK_REGISTRY.register("history_csv")
+def write_history_csv(model, dataset, result: FitResult, path: str) -> str:
+    """Registry form of :func:`history_to_csv` (per-epoch curve CSV)."""
+    history_to_csv(result, path)
+    return path
+
+
+@CALLBACK_REGISTRY.register("history_json")
+def write_history_json(model, dataset, result: FitResult, path: str) -> str:
+    """Registry form of :func:`history_to_json` (full fit record JSON)."""
+    history_to_json(result, path)
+    return path
+
+
+@CALLBACK_REGISTRY.register("serving_snapshot")
+def write_serving_snapshot(model, dataset, result: FitResult,
+                           path: str) -> str:
+    """Registry form of :class:`ServingSnapshot` (repro.serve artifact)."""
+    return ServingSnapshot(path)(model, dataset)
 
 
 def history_to_csv(result: FitResult, path: str) -> None:

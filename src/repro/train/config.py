@@ -7,8 +7,8 @@ needs and ignores the rest.  Defaults follow the paper's parameter settings
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence, Tuple
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..eval.protocol import DEFAULT_CHUNK_SIZE  # noqa: F401 (re-export;
                                                 # kept for callers that
@@ -73,6 +73,37 @@ class TrainConfig:
 
     def with_overrides(self, **kwargs) -> "TrainConfig":
         return replace(self, **kwargs)
+
+
+def config_to_dict(config) -> Dict:
+    """Plain-JSON dict of a config dataclass (tuples become lists)."""
+    return {f.name: (list(v) if isinstance(v := getattr(config, f.name),
+                                           tuple) else v)
+            for f in fields(config)}
+
+
+def config_from_dict(cls, payload: Dict, context: str = ""):
+    """Strict inverse of :func:`config_to_dict`.
+
+    Unknown keys are an error naming the bad field (and, when given,
+    the ``context`` it appeared under) — a typo in a spec file must not
+    silently fall back to a default.  Lists are converted back to tuples
+    for fields whose defaults are tuples (``eval_ks``, ``mixhop_hops``,
+    ...), so a JSON round trip is lossless.
+    """
+    spec_fields = {f.name: f for f in fields(cls)}
+    kwargs = {}
+    for key, value in payload.items():
+        if key not in spec_fields:
+            where = f" in {context}" if context else ""
+            raise ValueError(
+                f"unknown {cls.__name__} field {key!r}{where}; "
+                f"known fields: {sorted(spec_fields)}")
+        default = spec_fields[key].default
+        if isinstance(value, list) and isinstance(default, tuple):
+            value = tuple(value)
+        kwargs[key] = value
+    return cls(**kwargs)
 
 
 def fast_test_configs() -> Tuple[ModelConfig, TrainConfig]:

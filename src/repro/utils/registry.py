@@ -1,8 +1,21 @@
-"""A minimal string-keyed registry used for the model zoo."""
+"""String-keyed registries: the model zoo and the experiment components.
+
+Two layers:
+
+* :class:`Registry` — a free-standing name -> constructor mapping (any
+  code can make one for local use);
+* :func:`component_registry` — the process-wide table of *component
+  kinds* the declarative experiment API (:mod:`repro.api`) resolves
+  through.  ``component_registry("model")`` is the model zoo,
+  ``"dataset"`` the named dataset loaders, ``"probe"`` the post-training
+  analysis probes, ``"callback"`` the post-fit artifact writers.  Each
+  kind is created on first request and shared by every caller, so a
+  package registers its components simply by being imported.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, TypeVar
+from typing import Callable, Dict, Iterator, List, TypeVar
 
 T = TypeVar("T")
 
@@ -38,3 +51,25 @@ class Registry:
 
     def __iter__(self) -> Iterator[str]:
         return iter(self.names())
+
+
+#: process-wide component registries, keyed by kind (see module docstring)
+_COMPONENT_REGISTRIES: Dict[str, Registry] = {}
+
+
+def component_registry(kind: str) -> Registry:
+    """The shared registry of one component kind (created on demand).
+
+    Every caller asking for the same ``kind`` gets the same
+    :class:`Registry` instance, which is how the experiment facade
+    resolves models, datasets, probes and callbacks registered by their
+    defining modules.
+    """
+    if kind not in _COMPONENT_REGISTRIES:
+        _COMPONENT_REGISTRIES[kind] = Registry(kind)
+    return _COMPONENT_REGISTRIES[kind]
+
+
+def component_kinds() -> List[str]:
+    """Sorted list of component kinds registered so far."""
+    return sorted(_COMPONENT_REGISTRIES)

@@ -1,0 +1,226 @@
+"""Tests for the experiment pipeline (``repro.api.experiment``).
+
+Acceptance contract: ``Experiment.run(spec)`` reproduces the historical
+CLI ``train`` path bit-identically (same metrics for the same
+seed/spec), and ``run_sweep`` writes one replayable run directory per
+cell with shared dataset loading.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import (Experiment, ExperimentSpec, RunResult, expand_grid,
+                       recommend_topk, run_experiment, run_sweep)
+from repro.data import save_tsv, tiny_dataset
+from repro.models import build_model
+from repro.train import ModelConfig, TrainConfig, fit_model, load_state
+
+FAST_TRAIN = {"epochs": 2, "batch_size": 128, "eval_every": 2}
+
+
+def _fast_spec(model="biasmf", dataset="tiny", **overrides):
+    base = dict(model=model, dataset=dataset,
+                model_config={"embedding_dim": 8},
+                train_config=dict(FAST_TRAIN))
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+class TestRunMatchesManualPath:
+    """The facade reproduces manual build_model + fit_model exactly."""
+
+    @pytest.mark.parametrize("model", ["lightgcn", "sgl", "ncf"])
+    def test_bit_identical_metrics(self, model):
+        seed = 5
+        spec = ExperimentSpec(
+            model=model, dataset="tiny", seed=seed,
+            model_config={"embedding_dim": 8, "num_layers": 2},
+            train_config=dict(FAST_TRAIN))
+        result = Experiment(spec).run()
+
+        # the historical CLI path: load -> build -> fit, same seeds
+        dataset = tiny_dataset(seed=seed)
+        manual = build_model(model, dataset,
+                             ModelConfig(embedding_dim=8, num_layers=2),
+                             seed=seed)
+        fit = fit_model(manual, dataset,
+                        TrainConfig(**FAST_TRAIN), seed=seed)
+        assert result.metrics == fit.best_metrics
+        assert result.best_epoch == fit.best_epoch
+
+    def test_replay_from_run_dir_is_bit_identical(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        first = Experiment(_fast_spec()).run(run_dir=run_dir)
+        replay = Experiment.from_run_dir(run_dir).run()
+        assert replay.metrics == first.metrics
+
+
+class TestRunDirectory:
+    def test_contract_files(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        spec = _fast_spec(probes={"user_groups": {"num_groups": 2}})
+        result = Experiment(spec).run(run_dir=run_dir)
+        for name in ("spec.json", "metrics.jsonl", "timing.json",
+                     "environment.json", "probes.json", "history.csv"):
+            assert os.path.exists(os.path.join(run_dir, name)), name
+
+        with open(os.path.join(run_dir, "spec.json")) as fh:
+            assert ExperimentSpec.from_dict(json.load(fh)) == spec
+        with open(os.path.join(run_dir, "metrics.jsonl")) as fh:
+            events = [json.loads(line) for line in fh]
+        assert [e["event"] for e in events].count("best") == 1
+        assert events[-1]["metrics"] == result.metrics
+        epochs = [e for e in events if e["event"] == "epoch"]
+        assert len(epochs) == FAST_TRAIN["epochs"]
+        with open(os.path.join(run_dir, "environment.json")) as fh:
+            stamp = json.load(fh)
+        assert {"python", "numpy", "scipy", "repro",
+                "default_dtype"} <= set(stamp)
+
+    def test_run_result_load(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        result = Experiment(_fast_spec()).run(run_dir=run_dir)
+        loaded = RunResult.load(run_dir)
+        assert loaded.spec == result.spec
+        assert loaded.metrics == result.metrics
+        assert loaded.best_epoch == result.best_epoch
+        assert loaded.timing["train_seconds"] > 0
+        assert loaded.fit is None
+
+    def test_load_rejects_non_run_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="spec.json"):
+            RunResult.load(str(tmp_path))
+
+
+class TestArtifacts:
+    def test_checkpoint_and_history_and_snapshot(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        spec = _fast_spec(artifacts={"checkpoint": "best.npz",
+                                     "history": "history.csv",
+                                     "snapshot": "serve.npz"})
+        result = Experiment(spec).run(run_dir=run_dir)
+        assert set(result.artifacts) >= {"checkpoint", "history",
+                                         "snapshot"}
+        # relative artifact paths land inside the run directory
+        assert result.artifacts["checkpoint"] == \
+            os.path.join(run_dir, "best.npz")
+        assert os.path.exists(result.artifacts["snapshot"])
+        state = load_state(result.artifacts["checkpoint"])
+        assert state  # non-empty state dict round-trips
+
+    def test_checkpoint_feeds_evaluate(self, tmp_path):
+        ckpt = str(tmp_path / "best.npz")
+        spec = _fast_spec(artifacts={"checkpoint": ckpt})
+        Experiment(spec).run()
+        metrics = Experiment(_fast_spec()).evaluate(checkpoint=ckpt)
+        assert "recall@20" in metrics
+
+    def test_absolute_artifact_path_untouched(self, tmp_path):
+        snap = str(tmp_path / "abs-snap.npz")
+        spec = _fast_spec(artifacts={"snapshot": snap})
+        result = Experiment(spec).run(run_dir=str(tmp_path / "run"))
+        assert result.artifacts["snapshot"] == snap
+
+    def test_nested_artifact_dirs_are_created(self, tmp_path):
+        spec = _fast_spec(
+            artifacts={"checkpoint": "ckpts/best.npz",
+                       "snapshot": str(tmp_path / "deep/dir/s.npz")})
+        result = Experiment(spec).run(run_dir=str(tmp_path / "run"))
+        assert os.path.exists(result.artifacts["checkpoint"])
+        assert os.path.exists(result.artifacts["snapshot"])
+
+
+class TestProbes:
+    def test_probe_outputs_in_result(self):
+        spec = _fast_spec(probes={"user_groups": {"num_groups": 2,
+                                                  "ks": [5]},
+                                  "beyond_accuracy": {"k": 5}})
+        result = Experiment(spec).run()
+        assert set(result.probes) == {"user_groups", "beyond_accuracy"}
+        assert "coverage@5" in result.probes["beyond_accuracy"]
+
+    def test_probes_persist_to_run_dir(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        spec = _fast_spec(probes={"beyond_accuracy": {"k": 5}})
+        Experiment(spec).run(run_dir=run_dir)
+        loaded = RunResult.load(run_dir)
+        assert "coverage@5" in loaded.probes["beyond_accuracy"]
+
+
+class TestSweep:
+    def test_grid_over_models_and_datasets(self, tmp_path):
+        # two models x two datasets, one replayable run dir per cell
+        tsv = str(tmp_path / "edges.tsv")
+        save_tsv(tiny_dataset(seed=9, num_users=40, num_items=30), tsv)
+        base = _fast_spec()
+        specs = expand_grid(base, models=["biasmf", "lightgcn"],
+                            datasets=["tiny", tsv])
+        assert len(specs) == 4
+        base_dir = str(tmp_path / "sweep")
+        results = run_sweep(specs, base_dir=base_dir)
+        assert len(results) == 4
+        assert len(os.listdir(base_dir)) == 4
+        for spec, result in zip(specs, results):
+            assert result.run_dir == os.path.join(base_dir, spec.run_name)
+            replay = RunResult.load(result.run_dir)
+            assert replay.metrics == result.metrics
+            rerun = Experiment.from_run_dir(result.run_dir).run()
+            assert rerun.metrics == result.metrics
+
+    def test_shared_dataset_loading(self):
+        specs = expand_grid(_fast_spec(),
+                            models=["biasmf", "lightgcn"])
+        cache = {}
+        experiments = [Experiment(spec) for spec in specs]
+        datasets = [e.dataset(cache=cache) for e in experiments]
+        assert datasets[0] is datasets[1]  # one load per (dataset, seed)
+        assert len(cache) == 1
+
+    def test_name_collisions_get_suffixes(self, tmp_path):
+        base_dir = str(tmp_path / "sweep")
+        spec = _fast_spec()
+        results = run_sweep([spec, spec], base_dir=base_dir)
+        dirs = sorted(os.path.basename(r.run_dir) for r in results)
+        assert dirs == ["biasmf-tiny-seed0", "biasmf-tiny-seed0-2"]
+
+    def test_sweep_accepts_plain_dicts(self):
+        results = run_sweep([_fast_spec().to_dict()])
+        assert len(results) == 1 and results[0].metrics
+
+    def test_run_experiment_convenience(self):
+        result = run_experiment(_fast_spec().to_dict())
+        assert "recall@20" in result.metrics
+
+
+class TestRecommendFacade:
+    def test_trains_snapshot_when_missing_then_serves(self, tmp_path):
+        snap = str(tmp_path / "serve.npz")
+        payload = recommend_topk(snap, users=[0, 3], k=5,
+                                 train_spec=_fast_spec())
+        assert os.path.exists(snap)
+        assert payload["model"] == "biasmf"
+        assert sorted(payload["recommendations"]) == ["0", "3"]
+        assert all(len(v) == 5
+                   for v in payload["recommendations"].values())
+        # second call serves the existing artifact (no train_spec needed)
+        again = recommend_topk(snap, users=[3], k=5)
+        assert again["recommendations"]["3"] == \
+            payload["recommendations"]["3"]
+
+    def test_missing_snapshot_without_spec_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="train_spec"):
+            recommend_topk(str(tmp_path / "none.npz"))
+
+    def test_relative_snapshot_with_run_dir_still_serves(self, tmp_path,
+                                                         monkeypatch):
+        # a run_dir must not relocate the snapshot away from the path
+        # the serving step reads back
+        monkeypatch.chdir(tmp_path)
+        payload = recommend_topk("rel-serve.npz", users=[0], k=3,
+                                 train_spec=_fast_spec(),
+                                 run_dir=str(tmp_path / "run"))
+        assert os.path.exists(tmp_path / "rel-serve.npz")
+        assert payload["recommendations"]["0"]

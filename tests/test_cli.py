@@ -1,4 +1,6 @@
-"""Tests for the command-line interface."""
+"""Tests for the command-line interface (a thin shell over repro.api)."""
+
+import json
 
 import pytest
 
@@ -96,6 +98,128 @@ class TestRecommend:
         code = main(["recommend", "--snapshot",
                      str(tmp_path / "none.npz")])
         assert code == 2
+
+
+class TestDeprecatedEntryPoints:
+    """The cmd_*-era helpers survive one release as warning wrappers."""
+
+    def test_cmd_models_warns_and_still_works(self, capsys):
+        from repro.cli import cmd_models
+        with pytest.warns(DeprecationWarning,
+                          match=r"cmd_models is deprecated.*main"):
+            assert cmd_models(None) == 0
+        assert "lightgcn" in capsys.readouterr().out
+
+    def test_cmd_train_warns_with_replacement(self, capsys):
+        import argparse
+        from repro.cli import cmd_train
+        args = argparse.Namespace(
+            model="biasmf", dataset="tiny", seed=0, dim=8, layers=2,
+            ssl_weight=1.0, temperature=0.5, edge_threshold=0.2,
+            epochs=1, batch_size=64, lr=1e-3, quiet=True, eval_every=1,
+            checkpoint=None, history=None, snapshot=None, run_dir=None)
+        with pytest.warns(DeprecationWarning,
+                          match=r"repro\.api\.Experiment\(spec\)\.run"):
+            assert cmd_train(args) == 0
+        assert "recall@20" in capsys.readouterr().out
+
+    def test_cmd_evaluate_warns_with_replacement(self, capsys):
+        import argparse
+        from repro.cli import cmd_evaluate
+        args = argparse.Namespace(
+            model="biasmf", dataset="tiny", seed=0, dim=8, layers=2,
+            ssl_weight=1.0, temperature=0.5, edge_threshold=0.2,
+            checkpoint=None, eval_chunk=None)
+        with pytest.warns(DeprecationWarning, match=r"evaluate"):
+            assert cmd_evaluate(args) == 0
+        assert "recall@20" in capsys.readouterr().out
+
+    def test_cmd_recommend_warns_with_replacement(self, tmp_path):
+        import argparse
+        from repro.cli import cmd_recommend
+        args = argparse.Namespace(
+            snapshot=str(tmp_path / "none.npz"), model=None, dataset=None,
+            users=None, k=5, workers=1, include_seen=False, output=None)
+        with pytest.warns(DeprecationWarning,
+                          match=r"repro\.api\.recommend_topk"):
+            assert cmd_recommend(args) == 2
+
+    def test_each_call_emits_exactly_one_warning(self):
+        import warnings as _warnings
+        from repro.cli import cmd_models
+        with _warnings.catch_warnings(record=True) as caught:
+            _warnings.simplefilter("always")
+            cmd_models(None)
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+
+    def test_main_dispatch_does_not_warn(self, capsys):
+        import warnings as _warnings
+        with _warnings.catch_warnings(record=True) as caught:
+            _warnings.simplefilter("always")
+            main(["models"])
+        assert not [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+        capsys.readouterr()
+
+    def test_run_single_spec(self, tmp_path, capsys):
+        spec = {"model": "biasmf", "dataset": "tiny",
+                "model_config": {"embedding_dim": 8},
+                "train_config": {"epochs": 2, "batch_size": 64,
+                                 "eval_every": 2}}
+        path = str(tmp_path / "spec.json")
+        with open(path, "w") as fh:
+            json.dump(spec, fh)
+        assert main(["run", path, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "biasmf-tiny-seed0" in out
+        assert "recall@20" in out
+
+    def test_run_sweep_writes_run_dirs(self, tmp_path, capsys):
+        import os
+        spec = {"model": "biasmf", "dataset": "tiny",
+                "model_config": {"embedding_dim": 8},
+                "train_config": {"epochs": 1, "batch_size": 64,
+                                 "eval_every": 1}}
+        path = str(tmp_path / "spec.json")
+        with open(path, "w") as fh:
+            json.dump(spec, fh)
+        run_dir = str(tmp_path / "sweep")
+        assert main(["run", path, "--run-dir", run_dir,
+                     "--sweep-models", "biasmf,lightgcn",
+                     "--quiet"]) == 0
+        cells = sorted(os.listdir(run_dir))
+        assert cells == ["biasmf-tiny-seed0", "lightgcn-tiny-seed0"]
+        for cell in cells:
+            assert os.path.exists(os.path.join(run_dir, cell,
+                                               "spec.json"))
+
+    def test_run_reproduces_train_metrics(self, tmp_path, capsys):
+        """`repro run spec.json` == `repro train <flags>` bit-identically."""
+        import re
+        args = ["--model", "lightgcn", "--dataset", "tiny",
+                "--epochs", "2", "--batch-size", "64",
+                "--eval-every", "2", "--dim", "8", "--quiet"]
+        assert main(["train"] + args) == 0
+        train_out = capsys.readouterr().out
+
+        spec = {"model": "lightgcn", "dataset": "tiny",
+                "model_config": {"embedding_dim": 8, "num_layers": 3,
+                                 "ssl_weight": 1.0, "temperature": 0.5,
+                                 "edge_threshold": 0.2},
+                "train_config": {"epochs": 2, "batch_size": 64,
+                                 "eval_every": 2}}
+        path = str(tmp_path / "spec.json")
+        with open(path, "w") as fh:
+            json.dump(spec, fh)
+        assert main(["run", path, "--quiet"]) == 0
+        run_out = capsys.readouterr().out
+
+        def metrics_of(text):
+            return dict(re.findall(r"(\w+@\d+)\s+([0-9.]+)", text))
+
+        assert metrics_of(train_out) == metrics_of(run_out)
 
     def test_snapshot_path_without_extension(self, tmp_path, capsys):
         import os

@@ -1,10 +1,45 @@
-"""Tests for dataset file round-trips."""
+"""Tests for dataset file round-trips and registry-driven resolution."""
 
 import numpy as np
 import pytest
 
-from repro.data import (load_npz, load_tsv, save_npz, save_tsv,
-                        tiny_dataset)
+from repro.data import (available_datasets, load_npz, load_tsv,
+                        resolve_dataset, save_npz, save_tsv, tiny_dataset)
+
+
+class TestResolveDataset:
+    def test_registered_names(self):
+        assert {"gowalla", "retail_rocket", "amazon", "tiny"} <= \
+            set(available_datasets())
+        ds = resolve_dataset("tiny", seed=3)
+        assert ds.name == "tiny"
+        # same (name, seed) resolves to an identical dataset
+        again = resolve_dataset("tiny", seed=3)
+        assert (ds.train.matrix != again.train.matrix).nnz == 0
+
+    def test_tsv_path(self, tmp_path):
+        path = str(tmp_path / "edges.tsv")
+        save_tsv(tiny_dataset(seed=6), path)
+        ds = resolve_dataset(path, seed=0, test_fraction=0.25)
+        assert ds.num_users > 0
+
+    def test_npz_path(self, tmp_path):
+        path = str(tmp_path / "data.npz")
+        save_npz(tiny_dataset(seed=5), path)
+        loaded = resolve_dataset(path)
+        assert loaded.name == "tiny"
+
+    def test_npz_rejects_loader_options(self, tmp_path):
+        # the split is baked into the artifact; options must not be
+        # silently dropped
+        path = str(tmp_path / "data.npz")
+        save_npz(tiny_dataset(seed=5), path)
+        with pytest.raises(ValueError, match="test_fraction"):
+            resolve_dataset(path, test_fraction=0.3)
+
+    def test_unresolvable_name(self):
+        with pytest.raises(ValueError, match="cannot resolve dataset"):
+            resolve_dataset("no-such-dataset")
 
 
 class TestNpzRoundtrip:

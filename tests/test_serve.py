@@ -189,6 +189,59 @@ class TestSnapshot:
         with pytest.raises(ValueError, match="schema"):
             load_snapshot(path)
 
+    # ----------------------------------------------------------------- #
+    # format versioning (rolling-deployment contract)
+    # ----------------------------------------------------------------- #
+
+    def _rewrite_meta(self, path, mutate):
+        import json
+        blob = dict(np.load(path, allow_pickle=False))
+        meta = json.loads(str(blob["meta_json"]))
+        mutate(meta)
+        blob["meta_json"] = np.array(json.dumps(meta))
+        np.savez(path, **blob)
+
+    def test_save_stamps_current_format_version(self, dataset,
+                                                model_config, tmp_path):
+        from repro.serve import SNAPSHOT_FORMAT_VERSION
+        model = _build("lightgcn", dataset, model_config)
+        path = save_snapshot(model, dataset, str(tmp_path / "snap"))
+        snap = load_snapshot(path)
+        assert snap.meta["format_version"] == SNAPSHOT_FORMAT_VERSION
+
+    def test_version_absent_artifact_migrates(self, dataset, model_config,
+                                              tmp_path):
+        # a PR-3-era artifact has no format_version field at all; it must
+        # load as v1 and come back stamped at the current version
+        from repro.serve import SNAPSHOT_FORMAT_VERSION
+        model = _build("lightgcn", dataset, model_config)
+        path = save_snapshot(model, dataset, str(tmp_path / "snap"))
+        expected = RecommenderService.from_snapshot(path).recommend(k=K)
+        self._rewrite_meta(path, lambda m: m.pop("format_version"))
+        snap = load_snapshot(path)
+        assert snap.meta["format_version"] == SNAPSHOT_FORMAT_VERSION
+        assert np.array_equal(
+            RecommenderService.from_snapshot(snap).recommend(k=K),
+            expected)
+
+    def test_future_format_version_rejected(self, dataset, model_config,
+                                            tmp_path):
+        model = _build("lightgcn", dataset, model_config)
+        path = save_snapshot(model, dataset, str(tmp_path / "snap"))
+        self._rewrite_meta(path,
+                           lambda m: m.update(format_version=99))
+        with pytest.raises(ValueError, match="format_version 99"):
+            load_snapshot(path)
+
+    def test_invalid_format_version_rejected(self, dataset, model_config,
+                                             tmp_path):
+        model = _build("lightgcn", dataset, model_config)
+        path = save_snapshot(model, dataset, str(tmp_path / "snap"))
+        self._rewrite_meta(path,
+                           lambda m: m.update(format_version="two"))
+        with pytest.raises(ValueError, match="invalid snapshot"):
+            load_snapshot(path)
+
 
 def test_trainer_end_of_fit_snapshot(dataset, tmp_path):
     path = str(tmp_path / "fit-snap.npz")
