@@ -68,6 +68,11 @@ The trend check is part of every bench invocation: ``pytest benchmarks``
 at session end (``conftest.pytest_sessionfinish``) and prints the
 regression report before writing the artifact, so a slowdown surfaces
 even when ``test_hotpath.py`` itself was not selected.
+
+The full harness contract — artifact schema, trend-check semantics, the
+``BENCH_TREND_TOLERANCE`` / ``REPRO_CHUNK_BUDGET_BYTES`` environment
+knobs and the PR-by-PR performance trajectory — is documented in
+``docs/BENCHMARKS.md``.
 """
 
 from __future__ import annotations
@@ -218,11 +223,15 @@ def check_hotpath_trend(records: Optional[list] = None,
     perf regression fails the bench instead of silently rolling into a
     worse committed baseline.
 
-    The serving tier is gated through ``extras`` the same way: when both
-    this session and the committed artifact carry a
-    ``serving_microbenchmark`` entry, its single-worker batched
-    throughput (``users_per_second_batched``, higher is better) must not
-    fall below the committed number by more than ``tolerance``x.
+    The serving and sweep tiers are gated through ``extras`` the same
+    way: when both this session and the committed artifact carry the
+    entry, its throughput metric (higher is better) must not fall below
+    the committed number by more than ``tolerance``x —
+    ``serving_microbenchmark.users_per_second_batched`` for the serving
+    tier and ``sweep_microbenchmark.cells_per_second_sequential`` for
+    the sweep engine (the sequential number is the stable single-core
+    floor; the parallel speedup depends on the machine's core count and
+    is recorded but not gated).
     """
     if tolerance is None:
         tolerance = TREND_TOLERANCE
@@ -258,15 +267,20 @@ def check_hotpath_trend(records: Optional[list] = None,
                     f"{name}: {now[name] * 1e3:.1f}ms vs committed "
                     f"{then[name] * 1e3:.1f}ms (> {tolerance:.2f}x)")
 
-    serving = (extras or {}).get("serving_microbenchmark")
-    base_serving = committed.get("extras", {}).get("serving_microbenchmark")
-    if serving and base_serving:
-        key = "users_per_second_batched"
-        now_tp, then_tp = serving.get(key), base_serving.get(key)
+    gated_extras = (
+        ("serving", "serving_microbenchmark", "users_per_second_batched"),
+        ("sweep", "sweep_microbenchmark", "cells_per_second_sequential"),
+    )
+    for label, entry, key in gated_extras:
+        now_entry = (extras or {}).get(entry)
+        then_entry = committed.get("extras", {}).get(entry)
+        if not (now_entry and then_entry):
+            continue
+        now_tp, then_tp = now_entry.get(key), then_entry.get(key)
         if now_tp and then_tp and now_tp * tolerance < then_tp:
             regressions.append(
-                f"serving {key}: {now_tp:,.0f}/s vs committed "
-                f"{then_tp:,.0f}/s (> {tolerance:.2f}x slower)")
+                f"{label} {key}: {now_tp:,.1f}/s vs committed "
+                f"{then_tp:,.1f}/s (> {tolerance:.2f}x slower)")
     return regressions
 
 

@@ -16,6 +16,12 @@ Measures, on the gowalla profile with the paper's 60-epoch budget:
 * one full LightGCN training run (float32 via the harness) with spmm
   profiling on, so the ``BENCH_hotpath.json`` artifact carries an
   epoch/sampler/spmm/eval wall-clock breakdown;
+* sweep-engine throughput (cells/sec over an 8-cell model x seed grid
+  on gowalla) — the sequential in-process path against the
+  ``workers=2`` process pool, with per-cell run-dir fingerprints
+  asserted bit-identical first; the parallel path is asserted faster
+  only on multi-core machines (process spawn + import costs ~1s per
+  worker, which one core cannot amortize);
 * the trend check: the run above must not regress beyond
   ``harness.TREND_TOLERANCE`` against the committed artifact (serving
   throughput included, via the ``serving_microbenchmark`` extra).
@@ -286,6 +292,85 @@ def test_serving_throughput_microbenchmark(tmp_path):
             f"{cores}-core machine")
 
 
+#: sweep-engine microbench grid: 2 models x 4 seeds = 8 cells
+SWEEP_MODELS = ("biasmf", "lightgcn")
+SWEEP_SEEDS = (0, 1, 2, 3)
+SWEEP_WORKERS = 2
+
+#: per-cell budget for the sweep microbench (smaller than the Table II
+#: budget: the engine's scheduling overhead is what's being measured,
+#: and 8 full-budget cells would dominate the bench session)
+SWEEP_EPOCHS = 12
+
+
+def test_sweep_engine_microbenchmark(tmp_path):
+    """Cells/sec over an 8-cell grid: sequential vs 2-worker pool.
+
+    Parity first: every cell's run directory must be bit-identical
+    (``run_dir_fingerprint``: everything except wall-clock fields)
+    between the two schedules before throughput means anything.  The
+    worker pool is only asserted *faster* when the machine has more
+    than one usable core — spawned workers pay an interpreter + import
+    startup cost that a single core cannot amortize — but both numbers
+    are recorded, and the sequential cells/sec is trend-gated against
+    the committed artifact (``check_hotpath_trend``).
+    """
+    from repro.api import ExperimentSpec, expand_grid, run_sweep
+    from repro.api import run_dir_fingerprint
+
+    base = ExperimentSpec(
+        model=SWEEP_MODELS[0], dataset="gowalla",
+        model_config={"embedding_dim": BENCH_MODEL_CONFIG.embedding_dim,
+                      "num_layers": BENCH_MODEL_CONFIG.num_layers},
+        train_config={"epochs": SWEEP_EPOCHS,
+                      "batch_size": BENCH_TRAIN_CONFIG.batch_size,
+                      "eval_every": SWEEP_EPOCHS})
+    specs = expand_grid(base, models=list(SWEEP_MODELS),
+                        seeds=list(SWEEP_SEEDS))
+    assert len(specs) == 8
+
+    start = time.perf_counter()
+    sequential = run_sweep(specs, base_dir=str(tmp_path / "seq"))
+    sequential_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = run_sweep(specs, base_dir=str(tmp_path / "par"),
+                         workers=SWEEP_WORKERS)
+    parallel_seconds = time.perf_counter() - start
+
+    assert [r.status for r in sequential] == ["completed"] * len(specs)
+    assert [r.status for r in parallel] == ["completed"] * len(specs)
+    for a, b in zip(sequential, parallel):
+        assert run_dir_fingerprint(a.run_dir) == \
+            run_dir_fingerprint(b.run_dir), a.run_dir
+
+    cores = (len(os.sched_getaffinity(0))
+             if hasattr(os, "sched_getaffinity")
+             else os.cpu_count() or 1)
+    seq_tp = len(specs) / sequential_seconds
+    par_tp = len(specs) / parallel_seconds
+    record_hotpath_extra("sweep_microbenchmark", {
+        "dataset": "gowalla",
+        "cells": len(specs),
+        "epochs_per_cell": SWEEP_EPOCHS,
+        "workers": SWEEP_WORKERS,
+        "cores": cores,
+        "sequential_seconds": sequential_seconds,
+        "parallel_seconds": parallel_seconds,
+        "cells_per_second_sequential": seq_tp,
+        "cells_per_second_parallel": par_tp,
+        "speedup_parallel_vs_sequential": par_tp / seq_tp,
+    })
+    print(f"\nsweep 8 cells: sequential {sequential_seconds:.2f}s "
+          f"({seq_tp:.2f} cells/s), {SWEEP_WORKERS}-worker "
+          f"{parallel_seconds:.2f}s ({par_tp:.2f} cells/s) "
+          f"({cores} core(s))")
+    if cores > 1:
+        assert parallel_seconds < sequential_seconds, (
+            f"{SWEEP_WORKERS}-worker sweep ({parallel_seconds:.2f}s) did "
+            f"not beat sequential ({sequential_seconds:.2f}s) on a "
+            f"{cores}-core machine")
+
+
 def test_training_hotpath_breakdown():
     """One 60-epoch LightGCN run on gowalla (float32), timings recorded."""
     result = run_model("lightgcn", "gowalla")
@@ -315,6 +400,7 @@ if __name__ == "__main__":
     test_evaluator_microbenchmark()
     test_serving_throughput_microbenchmark(
         pathlib.Path(tempfile.mkdtemp()))
+    test_sweep_engine_microbenchmark(pathlib.Path(tempfile.mkdtemp()))
     test_training_hotpath_breakdown()
     test_bench_trend_no_regression()
     print(f"wrote {write_hotpath_artifact()}")

@@ -28,20 +28,30 @@ callback    ``repro.train.callbacks``     ``artifacts``
 
 Specs round-trip losslessly through plain dicts / JSON files (strict
 parsing: unknown keys raise, naming the bad field), runs persist a
-replayable run directory (:mod:`repro.api.rundir`), and
-:func:`run_sweep` grid-runs many specs with shared dataset loading.
-The CLI (``repro train/evaluate/recommend/run``) is a thin shell over
-this module.
+replayable run directory (:mod:`repro.api.rundir`), and the sweep
+engine (:mod:`repro.api.sweep`) grid-runs many specs — sequentially or
+over a process pool (``workers=N``), with per-cell failure isolation,
+``SweepRunner.resume`` for partially-run sweeps, and
+:func:`aggregate_results` leaderboards.  The CLI
+(``repro train/evaluate/recommend/run``) is a thin shell over this
+module.
 """
 
 from .spec import ArtifactSpec, EvalSpec, ExperimentSpec
-from .experiment import (Experiment, RunResult, expand_grid,
-                         recommend_topk, run_experiment, run_sweep)
-from .rundir import environment_stamp, read_run_dir, write_run_dir
+from .experiment import (Experiment, RunResult, recommend_topk, run_cell,
+                         run_experiment)
+from .rundir import (environment_stamp, read_run_dir, run_dir_fingerprint,
+                     run_dir_is_complete, write_run_dir)
+from .sweep import (SweepReport, SweepRunner, aggregate_results,
+                    claim_run_dir, expand_grid, merge_sweep_manifest,
+                    read_sweep_manifest, run_sweep, write_sweep_manifest)
 
 __all__ = [
     "ArtifactSpec", "EvalSpec", "ExperimentSpec",
     "Experiment", "RunResult", "expand_grid", "recommend_topk",
-    "run_experiment", "run_sweep",
-    "environment_stamp", "read_run_dir", "write_run_dir",
+    "run_cell", "run_experiment", "run_sweep",
+    "SweepReport", "SweepRunner", "aggregate_results", "claim_run_dir",
+    "merge_sweep_manifest", "read_sweep_manifest", "write_sweep_manifest",
+    "environment_stamp", "read_run_dir", "run_dir_fingerprint",
+    "run_dir_is_complete", "write_run_dir",
 ]

@@ -9,21 +9,24 @@ evaluator exactly the way the CLI always did, so ``Experiment.run(spec)``
 reproduces the historical ``repro train`` path bit-identically for the
 same seed and budgets.
 
-:func:`run_sweep` runs many specs with one shared dataset cache (each
-``(dataset, seed, options)`` cell is loaded once per sweep) and writes
-one replayable run directory per spec under a base directory.
+:func:`run_cell` is the module-level, picklable single-cell entry point
+the process-parallel sweep engine (:mod:`repro.api.sweep`) dispatches to
+its workers: spec dict in (the strict JSON round trip is the wire
+format), JSON-compatible result summary out, every exception converted
+into a ``status: failed`` record instead of propagating.
 """
 
 from __future__ import annotations
 
 import os
+import traceback as _traceback
 from dataclasses import dataclass, field
-from itertools import product
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Optional
 
 import numpy as np
 
-from .rundir import read_run_dir, write_run_dir
+from .rundir import (STATUS_COMPLETED, STATUS_FAILED, read_run_dir,
+                     read_status, write_failed_run_dir, write_run_dir)
 from .spec import ExperimentSpec
 from ..data import InteractionDataset, resolve_dataset
 from ..train import Trainer, FitResult, CALLBACK_REGISTRY
@@ -33,9 +36,28 @@ from ..train import Trainer, FitResult, CALLBACK_REGISTRY
 class RunResult:
     """Everything one experiment run produced.
 
-    ``fit`` (the full per-epoch history) is only present on live runs;
-    results reloaded from a run directory carry the persisted summary —
+    ``fit`` (the full per-epoch history) is only present on live
+    in-process runs; results reloaded from a run directory — and results
+    returned by parallel sweep workers — carry the persisted summary:
     spec, best metrics, timing, probe outputs and artifact paths.
+
+    ``status`` is ``"completed"`` for a finished run and ``"failed"``
+    (with ``error`` carrying the exception) for a sweep cell that
+    crashed — see :mod:`repro.api.sweep` for the failure-isolation
+    contract.
+
+    Example::
+
+        >>> from repro.api import Experiment, ExperimentSpec
+        >>> spec = ExperimentSpec(model="biasmf", dataset="tiny",
+        ...                       model_config={"embedding_dim": 8},
+        ...                       train_config={"epochs": 2,
+        ...                                     "eval_every": 2})
+        >>> result = Experiment(spec).run()
+        >>> sorted(result.metrics)
+        ['ndcg@20', 'ndcg@40', 'recall@20', 'recall@40']
+        >>> result.status
+        'completed'
     """
 
     spec: ExperimentSpec
@@ -46,6 +68,13 @@ class RunResult:
     artifacts: Dict[str, str] = field(default_factory=dict)
     run_dir: Optional[str] = None
     fit: Optional[FitResult] = None
+    status: str = STATUS_COMPLETED
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        """True when this run crashed (``status == "failed"``)."""
+        return self.status == STATUS_FAILED
 
     @property
     def train_seconds(self) -> float:
@@ -59,12 +88,34 @@ class RunResult:
     def load(cls, run_dir: str) -> "RunResult":
         """Reload a persisted run (inverse of the run-directory write)."""
         payload = read_run_dir(run_dir)
+        status = read_status(run_dir) or {"status": STATUS_COMPLETED}
         return cls(spec=ExperimentSpec.from_dict(payload["spec"]),
                    metrics=payload["metrics"],
                    best_epoch=payload["best_epoch"],
                    timing=payload["timing"],
                    probes=payload["probes"],
-                   run_dir=run_dir)
+                   run_dir=run_dir,
+                   status=status.get("status", STATUS_COMPLETED),
+                   error=status.get("error"))
+
+    def summary(self) -> Dict:
+        """JSON-compatible summary (the parallel-sweep wire format)."""
+        return {"spec": self.spec.to_dict(), "metrics": dict(self.metrics),
+                "best_epoch": self.best_epoch, "timing": dict(self.timing),
+                "probes": self.probes, "artifacts": dict(self.artifacts),
+                "run_dir": self.run_dir, "status": self.status,
+                "error": self.error}
+
+    @classmethod
+    def from_summary(cls, payload: Dict) -> "RunResult":
+        """Rebuild a result from :meth:`summary` (inverse, minus ``fit``)."""
+        return cls(spec=ExperimentSpec.from_dict(payload["spec"]),
+                   metrics=payload["metrics"],
+                   best_epoch=payload["best_epoch"],
+                   timing=payload["timing"], probes=payload["probes"],
+                   artifacts=payload["artifacts"],
+                   run_dir=payload["run_dir"], status=payload["status"],
+                   error=payload["error"])
 
 
 def _dataset_cache_key(spec: ExperimentSpec) -> tuple:
@@ -75,18 +126,25 @@ def _dataset_cache_key(spec: ExperimentSpec) -> tuple:
 class Experiment:
     """One declarative experiment, resolvable end to end from its spec.
 
-    Usage::
-
-        spec = ExperimentSpec(model="lightgcn", dataset="gowalla",
-                              train_config={"epochs": 60})
-        result = Experiment(spec).run(run_dir="runs/lightgcn-gowalla")
-        result.metrics["recall@20"]
-
     ``run()`` trains, evaluates (through the trainer's chunked eval
     cadence), executes the spec's probes on the trained model, writes
     the requested artifacts through the callback registry, and — when a
     run directory is given — persists the replayable run record
     (:mod:`repro.api.rundir`).
+
+    Example (a fast run on the bundled ``tiny`` profile)::
+
+        >>> from repro.api import Experiment, ExperimentSpec
+        >>> spec = ExperimentSpec(model="lightgcn", dataset="tiny",
+        ...                       model_config={"embedding_dim": 8,
+        ...                                     "num_layers": 2},
+        ...                       train_config={"epochs": 2,
+        ...                                     "eval_every": 2})
+        >>> result = Experiment(spec).run()
+        >>> result.best_epoch
+        2
+        >>> 0.0 <= result.metrics["recall@20"] <= 1.0
+        True
     """
 
     def __init__(self, spec, dataset: Optional[InteractionDataset] = None):
@@ -214,57 +272,53 @@ def run_experiment(spec, run_dir: Optional[str] = None,
 
 
 # --------------------------------------------------------------------- #
-# sweeps
+# the picklable single-cell entry point (the sweep engine's unit of work)
 # --------------------------------------------------------------------- #
 
-def expand_grid(base, models: Optional[Sequence[str]] = None,
-                datasets: Optional[Sequence[str]] = None,
-                seeds: Optional[Sequence[int]] = None
-                ) -> List[ExperimentSpec]:
-    """Grid-expand a base spec over models x datasets x seeds.
+def run_cell(spec_dict: Dict, run_dir: Optional[str] = None,
+             verbose: Optional[bool] = None,
+             dataset_cache: Optional[Dict] = None) -> Dict:
+    """Run one sweep cell; never raises — crashes become failure records.
 
-    Every cell is the base spec with the axis fields replaced (and its
-    ``name`` cleared, so each cell gets its own derived ``run_name``).
-    Axes default to the base spec's own value.
+    This is the function :class:`repro.api.sweep.SweepRunner` ships to
+    its worker processes, so everything that crosses the process
+    boundary is spawn-safe by construction: the input is a plain spec
+    dict (the strict :meth:`ExperimentSpec.from_dict` round trip is the
+    wire format) and the output is the JSON-compatible
+    :meth:`RunResult.summary` payload.  Any exception — a bad spec, a
+    missing dataset file, a crash mid-fit — is caught and converted into
+    a ``{"status": "failed", "error": ..., "traceback": ...}`` summary;
+    when ``run_dir`` is set the failure is also persisted there
+    (:func:`repro.api.rundir.write_failed_run_dir`), so one crashed cell
+    never takes down the sweep around it.
     """
-    if isinstance(base, dict):
-        base = ExperimentSpec.from_dict(base)
-    models = tuple(models) if models else (base.model,)
-    datasets = tuple(datasets) if datasets else (base.dataset,)
-    seeds = tuple(seeds) if seeds else (base.seed,)
-    return [base.with_overrides(model=model, dataset=dataset, seed=seed,
-                                name=None)
-            for model, dataset, seed in product(models, datasets, seeds)]
+    try:
+        spec = ExperimentSpec.from_dict(dict(spec_dict))
+    except Exception as exc:                       # noqa: BLE001 — isolate
+        # the spec never parsed; echo the raw payload for diagnosis
+        return _failed_summary(dict(spec_dict), run_dir, exc)
+    try:
+        result = Experiment(spec).run(run_dir=run_dir,
+                                      dataset_cache=dataset_cache,
+                                      verbose=verbose)
+        return result.summary()
+    except Exception as exc:                       # noqa: BLE001 — isolate
+        return _failed_summary(spec.to_dict(), run_dir, exc)
 
 
-def run_sweep(specs: Iterable, base_dir: Optional[str] = None,
-              verbose: Optional[bool] = None) -> List[RunResult]:
-    """Run many specs with shared dataset loading.
-
-    Each ``(dataset, seed, options)`` cell is resolved once and reused
-    by every spec that names it.  With ``base_dir`` set, every run
-    writes a replayable run directory ``<base_dir>/<run_name>`` (name
-    collisions get a numeric suffix, so repeated cells never clobber
-    each other).  Returns one :class:`RunResult` per spec, in order.
-    """
-    dataset_cache: Dict = {}
-    used_names: Dict[str, int] = {}
-    results: List[RunResult] = []
-    for spec in specs:
-        if isinstance(spec, dict):
-            spec = ExperimentSpec.from_dict(spec)
-        run_dir = None
-        if base_dir is not None:
-            name = spec.run_name
-            count = used_names.get(name, 0)
-            used_names[name] = count + 1
-            if count:
-                name = f"{name}-{count + 1}"
-            run_dir = os.path.join(base_dir, name)
-        results.append(Experiment(spec).run(run_dir=run_dir,
-                                            dataset_cache=dataset_cache,
-                                            verbose=verbose))
-    return results
+def _failed_summary(spec_payload: Dict, run_dir: Optional[str],
+                    exc: BaseException) -> Dict:
+    """The failed-cell wire format (must be called from an ``except``
+    block: the active exception supplies the traceback); persists the
+    failure record when a run directory was claimed."""
+    error = f"{type(exc).__name__}: {exc}"
+    tb = _traceback.format_exc()
+    if run_dir is not None:
+        write_failed_run_dir(run_dir, spec_payload, error, tb)
+    return {"spec": spec_payload, "metrics": {}, "best_epoch": -1,
+            "timing": {}, "probes": {}, "artifacts": {},
+            "run_dir": run_dir, "status": STATUS_FAILED,
+            "error": error, "traceback": tb}
 
 
 # --------------------------------------------------------------------- #
@@ -285,6 +339,21 @@ def recommend_topk(snapshot: str, users: Optional[np.ndarray] = None,
 
         {"model": ..., "backend": ..., "k": ..., "exclude_seen": ...,
          "num_users": ..., "recommendations": {"<user>": [item, ...]}}
+
+    Example (train-if-missing, then serve)::
+
+        >>> import os, tempfile
+        >>> from repro.api import ExperimentSpec, recommend_topk
+        >>> spec = ExperimentSpec(model="biasmf", dataset="tiny",
+        ...                       model_config={"embedding_dim": 8},
+        ...                       train_config={"epochs": 1})
+        >>> snap = os.path.join(tempfile.mkdtemp(), "serve.npz")
+        >>> payload = recommend_topk(snap, users=[0, 3], k=5,
+        ...                          train_spec=spec)
+        >>> sorted(payload["recommendations"])
+        ['0', '3']
+        >>> len(payload["recommendations"]["0"])
+        5
     """
     from ..serve import RecommenderService, resolve_snapshot_path
 

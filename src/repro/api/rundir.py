@@ -6,6 +6,8 @@
 
     <run_dir>/
       spec.json          # exact ExperimentSpec echo (from_dict loads it)
+      status.json        # {"status": "completed"} — or "failed" with the
+                         # error + traceback when the cell crashed
       metrics.jsonl      # one JSON object per event: every epoch record
                          # ({"event": "epoch", ...}) and the final best
                          # ({"event": "best", ...})
@@ -20,10 +22,20 @@
 reconstructs the exact experiment, and re-running it with the same seed
 reproduces the recorded metrics bit-identically.  The other files are
 the record of what this run measured and under which toolchain.
+
+A run that *crashed* still leaves a valid record: ``spec.json`` plus a
+``status.json`` carrying ``{"status": "failed", "error": ...,
+"traceback": ...}`` (:func:`write_failed_run_dir`).  The sweep engine
+(:mod:`repro.api.sweep`) leans on this: :func:`run_dir_is_complete`
+decides which cells a resumed sweep may skip, and
+:func:`run_dir_fingerprint` hashes the *deterministic* content of a run
+directory — everything except wall-clock fields — so N-worker and
+sequential sweeps can be compared bit-for-bit.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import platform
@@ -31,11 +43,16 @@ import sys
 from typing import Dict, Optional
 
 SPEC_FILE = "spec.json"
+STATUS_FILE = "status.json"
 METRICS_FILE = "metrics.jsonl"
 TIMING_FILE = "timing.json"
 ENVIRONMENT_FILE = "environment.json"
 PROBES_FILE = "probes.json"
 HISTORY_FILE = "history.csv"
+
+#: terminal states a ``status.json`` may record
+STATUS_COMPLETED = "completed"
+STATUS_FAILED = "failed"
 
 
 def environment_stamp() -> Dict[str, str]:
@@ -107,7 +124,125 @@ def write_run_dir(run_dir: str, spec, fit=None,
         history_path = os.path.join(run_dir, HISTORY_FILE)
         history_to_csv(fit, history_path)
         paths["history"] = history_path
+    paths["status"] = write_status(run_dir, STATUS_COMPLETED)
     return paths
+
+
+def write_status(run_dir: str, status: str, error: Optional[str] = None,
+                 traceback: Optional[str] = None) -> str:
+    """Write ``status.json`` (the run's terminal state); returns its path."""
+    payload: Dict[str, str] = {"status": status}
+    if error is not None:
+        payload["error"] = error
+    if traceback is not None:
+        payload["traceback"] = traceback
+    return _write_json(os.path.join(run_dir, STATUS_FILE), payload)
+
+
+def read_status(run_dir: str) -> Optional[Dict[str, str]]:
+    """The ``status.json`` payload, or ``None`` when the file is absent
+    (run directories written before status stamping existed)."""
+    path = os.path.join(run_dir, STATUS_FILE)
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def write_failed_run_dir(run_dir: str, spec, error: str,
+                         traceback_text: str) -> Dict[str, str]:
+    """Record a crashed run: spec echo + ``status: failed`` + traceback.
+
+    This is the failure half of the run-directory contract — a sweep
+    cell that raises mid-fit must leave enough behind that (a) the
+    failure is diagnosable (``error`` / ``traceback``) and (b) a resumed
+    sweep recognizes the cell as needing a re-run.  ``spec`` may be an
+    ``ExperimentSpec`` or a plain dict — the latter covers cells whose
+    spec never parsed (the raw payload is still echoed for diagnosis).
+    """
+    os.makedirs(run_dir, exist_ok=True)
+    spec_path = os.path.join(run_dir, SPEC_FILE)
+    if isinstance(spec, dict):
+        _write_json(spec_path, spec)
+    else:
+        spec.save(spec_path)
+    return {
+        "spec": spec_path,
+        "status": write_status(run_dir, STATUS_FAILED, error=error,
+                               traceback=traceback_text),
+    }
+
+
+def run_dir_is_complete(run_dir: str, spec=None) -> bool:
+    """Whether ``run_dir`` holds a finished run (resume skips these).
+
+    A directory validates when its ``spec.json`` parses, its
+    ``status.json`` says ``completed`` — directories from before status
+    stamping validate through a recorded best epoch instead — and, when
+    ``spec`` is given, the recorded spec matches it exactly (a cell
+    whose definition changed must re-run, not be skipped).
+    """
+    try:
+        payload = read_run_dir(run_dir)
+    except FileNotFoundError:
+        return False
+    if spec is not None:
+        expected = spec if isinstance(spec, dict) else spec.to_dict()
+        if payload["spec"] != expected:
+            return False
+    status = read_status(run_dir)
+    if status is not None:
+        return status.get("status") == STATUS_COMPLETED
+    return payload["best_epoch"] >= 0
+
+
+def _strip_wall_time(event: Dict) -> Dict:
+    return {k: v for k, v in event.items() if k != "wall_time"}
+
+
+def run_dir_fingerprint(run_dir: str) -> str:
+    """SHA-256 over the *deterministic* content of a run directory.
+
+    Two runs of the same spec under the same toolchain produce the same
+    fingerprint no matter how they were scheduled — sequentially, or on
+    any worker of a process-parallel sweep.  Covered: the spec echo, the
+    status, every ``metrics.jsonl`` event, ``probes.json``,
+    ``history.csv`` and the set of timing keys.  Excluded (the only
+    nondeterministic fields a run records): wall-clock values —
+    ``timing.json`` values, the ``wall_time`` of each epoch event, and
+    the ``wall_time`` column of ``history.csv``.
+    """
+    digest = hashlib.sha256()
+
+    def feed(tag: str, payload) -> None:
+        digest.update(tag.encode())
+        digest.update(json.dumps(payload, sort_keys=True).encode())
+
+    payload = read_run_dir(run_dir)
+    feed("spec", payload["spec"])
+    feed("probes", payload["probes"])
+    status = read_status(run_dir)
+    feed("status", (status or {}).get("status"))
+    feed("timing_keys", sorted(payload["timing"]))
+
+    metrics_path = os.path.join(run_dir, METRICS_FILE)
+    if os.path.exists(metrics_path):
+        with open(metrics_path) as handle:
+            events = [_strip_wall_time(json.loads(line))
+                      for line in handle if line.strip()]
+        feed("events", events)
+
+    history_path = os.path.join(run_dir, HISTORY_FILE)
+    if os.path.exists(history_path):
+        import csv
+        with open(history_path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        if rows:
+            keep = [i for i, name in enumerate(rows[0])
+                    if name != "wall_time"]
+            rows = [[row[i] for i in keep] for row in rows]
+        feed("history", rows)
+    return digest.hexdigest()
 
 
 def read_run_dir(run_dir: str) -> Dict:

@@ -124,6 +124,19 @@ class ExperimentSpec:
     dicts.  ``dataset`` is a registered name (synthetic profiles,
     ``"tiny"``) or a file path (``.npz`` / TSV edge list) — see
     :func:`repro.data.resolve_dataset`.
+
+    Example (strict, lossless round trip)::
+
+        >>> from repro.api import ExperimentSpec
+        >>> spec = ExperimentSpec(model="lightgcn", dataset="tiny", seed=3)
+        >>> spec.run_name
+        'lightgcn-tiny-seed3'
+        >>> ExperimentSpec.from_dict(spec.to_dict()) == spec
+        True
+        >>> ExperimentSpec.from_dict({**spec.to_dict(), "typo": 1})
+        Traceback (most recent call last):
+        ...
+        ValueError: unknown ExperimentSpec field 'typo'; known fields: ...
     """
 
     model: str

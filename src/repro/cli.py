@@ -8,7 +8,9 @@ lives here.
 
 Commands
 --------
-``run``        run a spec file (one spec or a list; optional sweep axes)
+``run``        run a spec file (one spec or a list; optional sweep axes,
+               ``--workers N`` process-parallel execution, ``--resume``
+               for partially-run sweeps)
 ``train``      train any registered model on a dataset profile or TSV file
 ``evaluate``   load a saved checkpoint and re-evaluate it
 ``recommend``  serve top-k recommendations from a serving snapshot
@@ -21,7 +23,8 @@ Examples::
     python -m repro models
     python -m repro run spec.json --run-dir runs/exp1
     python -m repro run spec.json --sweep-models lightgcn,sgl \
-        --sweep-seeds 0,1 --run-dir runs/sweep
+        --sweep-seeds 0,1 --run-dir runs/sweep --workers 4
+    python -m repro run --resume runs/sweep
     python -m repro train --model graphaug --dataset gowalla \
         --epochs 60 --checkpoint best.npz --history history.csv
     python -m repro evaluate --model graphaug --dataset gowalla \
@@ -40,8 +43,7 @@ import sys
 import warnings
 from typing import Optional
 
-from .api import (Experiment, ExperimentSpec, expand_grid, recommend_topk,
-                  run_sweep)
+from .api import (Experiment, ExperimentSpec, expand_grid, recommend_topk)
 from .data import available_datasets, resolve_dataset
 from .models import available_models
 
@@ -171,11 +173,55 @@ def _cmd_recommend(args) -> int:
     return 0
 
 
+def _print_sweep_results(results) -> int:
+    """Per-cell summary lines + leaderboard pointer; exit 1 on failures."""
+    failed = 0
+    for result in results:
+        where = f" -> {result.run_dir}" if result.run_dir else ""
+        if result.failed:
+            failed += 1
+            print(f"{result.spec.run_name}: FAILED ({result.error}){where}")
+            continue
+        best = " ".join(f"{k}={v:.4f}"
+                        for k, v in sorted(result.metrics.items()))
+        print(f"{result.spec.run_name}: {best}{where}")
+    if failed:
+        print(f"{failed} of {len(results)} cells failed "
+              "(see each cell's status.json; re-run them with "
+              "`repro run --resume <sweep dir>`)", file=sys.stderr)
+    return 1 if failed else 0
+
+
 def _cmd_run(args) -> int:
-    """Run a spec file (single spec or list; optional sweep axes)."""
+    """Run a spec file (single spec or list; optional sweep axes), or
+    resume a partially-run sweep directory (``--resume``)."""
+    from .api import SweepRunner
+    from .api.sweep import LEADERBOARD_FILE
+
+    verbose = False if args.quiet else None
+    if args.resume:
+        if args.spec:
+            print("--resume takes no spec file (the sweep manifest "
+                  "already records every cell)", file=sys.stderr)
+            return 2
+        results = SweepRunner.resume(args.resume, workers=args.workers,
+                                     verbose=verbose)
+        code = _print_sweep_results(results)
+        # resume already re-aggregated; just point at the artifact
+        print(f"leaderboard -> {os.path.join(args.resume, LEADERBOARD_FILE)}")
+        return code
+    if not args.spec:
+        print("a spec file is required (or --resume <sweep dir>)",
+              file=sys.stderr)
+        return 2
+
     with open(args.spec) as handle:
         payload = json.load(handle)
     specs = payload if isinstance(payload, list) else [payload]
+    if not specs:
+        print(f"{args.spec} holds an empty spec list; nothing to run",
+              file=sys.stderr)
+        return 2
     specs = [ExperimentSpec.from_dict(entry) for entry in specs]
 
     axes = {key: getattr(args, f"sweep_{key}") or None
@@ -194,20 +240,19 @@ def _cmd_run(args) -> int:
 
     # --quiet forces silence; otherwise each spec's own verbose setting
     # stands (None = no override)
-    verbose = False if args.quiet else None
-    if len(specs) == 1 and not args.run_dir:
+    if len(specs) == 1 and not args.run_dir and not args.workers:
         result = Experiment(specs[0]).run(verbose=verbose)
         print(f"{specs[0].run_name}: best epoch {result.best_epoch}")
         _print_metrics(result.metrics)
         return 0
 
-    results = run_sweep(specs, base_dir=args.run_dir, verbose=verbose)
-    for result in results:
-        where = f" -> {result.run_dir}" if result.run_dir else ""
-        best = " ".join(f"{k}={v:.4f}"
-                        for k, v in sorted(result.metrics.items()))
-        print(f"{result.spec.run_name}: {best}{where}")
-    return 0
+    runner = SweepRunner(specs, base_dir=args.run_dir, verbose=verbose,
+                         workers=args.workers)
+    results = runner.run()
+    code = _print_sweep_results(results)
+    if runner.report is not None:
+        print(f"leaderboard -> {runner.report.artifacts['leaderboard']}")
+    return code
 
 
 # --------------------------------------------------------------------- #
@@ -276,12 +321,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser(
         "run", help="run an experiment spec file (JSON; one spec or a "
-                    "list of specs)")
-    p_run.add_argument("spec", help="path to the spec JSON "
-                                    "(see repro.api.ExperimentSpec)")
+                    "list of specs), or resume a sweep directory")
+    p_run.add_argument("spec", nargs="?", default=None,
+                       help="path to the spec JSON "
+                            "(see repro.api.ExperimentSpec); omit with "
+                            "--resume")
     p_run.add_argument("--run-dir", default=None, dest="run_dir",
                        help="write replayable run directories here (one "
-                            "per spec)")
+                            "per spec), plus sweep.json / leaderboard.md")
     p_run.add_argument("--sweep-models", default=None, dest="sweep_models",
                        help="comma-separated model axis to grid over")
     p_run.add_argument("--sweep-datasets", default=None,
@@ -289,6 +336,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated dataset axis to grid over")
     p_run.add_argument("--sweep-seeds", default=None, dest="sweep_seeds",
                        help="comma-separated seed axis to grid over")
+    p_run.add_argument("--workers", type=int, default=None,
+                       help="run sweep cells on an N-worker process pool "
+                            "(default: sequential in-process; output is "
+                            "bit-identical either way)")
+    p_run.add_argument("--resume", default=None, metavar="SWEEP_DIR",
+                       help="finish a partially-run sweep: skip cells "
+                            "whose run dirs validate, re-run "
+                            "failed/missing ones")
     p_run.add_argument("--quiet", action="store_true")
 
     for name, help_text in (("train", "train a model"),

@@ -70,6 +70,15 @@ class TrainConfig:
     early_stop_patience: Optional[int] = None  # evals w/o improvement
     early_stop_metric: str = "recall@20"
     verbose: bool = False
+    fail_after_epoch: Optional[int] = None    # fault-injection hook: raise
+                                              # RuntimeError once this many
+                                              # epochs completed.  Exists so
+                                              # the sweep engine's failure-
+                                              # isolation / resume paths are
+                                              # testable with a real mid-fit
+                                              # crash (spec-addressable even
+                                              # in spawned workers); never
+                                              # set in production configs
 
     def with_overrides(self, **kwargs) -> "TrainConfig":
         return replace(self, **kwargs)

@@ -157,6 +157,13 @@ class Trainer:
             history.append(EpochRecord(epoch=epoch, loss=epoch_loss,
                                        wall_time=timer.total,
                                        metrics=metrics))
+            if (cfg.fail_after_epoch is not None
+                    and epoch >= cfg.fail_after_epoch):
+                # fault-injection hook (see TrainConfig.fail_after_epoch):
+                # a deliberate mid-fit crash for failure-isolation tests
+                raise RuntimeError(
+                    f"injected training failure after epoch {epoch} "
+                    "(TrainConfig.fail_after_epoch)")
             if (cfg.early_stop_patience is not None
                     and stale_evals >= cfg.early_stop_patience):
                 break

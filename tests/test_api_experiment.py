@@ -162,7 +162,12 @@ class TestSweep:
         base_dir = str(tmp_path / "sweep")
         results = run_sweep(specs, base_dir=base_dir)
         assert len(results) == 4
-        assert len(os.listdir(base_dir)) == 4
+        # one run dir per cell, plus the sweep manifest + aggregation
+        cell_dirs = [d for d in os.listdir(base_dir)
+                     if os.path.isdir(os.path.join(base_dir, d))]
+        assert len(cell_dirs) == 4
+        assert {"sweep.json", "results.csv",
+                "leaderboard.md"} <= set(os.listdir(base_dir))
         for spec, result in zip(specs, results):
             assert result.run_dir == os.path.join(base_dir, spec.run_name)
             replay = RunResult.load(result.run_dir)

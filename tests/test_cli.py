@@ -189,11 +189,17 @@ class TestDeprecatedEntryPoints:
         assert main(["run", path, "--run-dir", run_dir,
                      "--sweep-models", "biasmf,lightgcn",
                      "--quiet"]) == 0
-        cells = sorted(os.listdir(run_dir))
+        cells = sorted(d for d in os.listdir(run_dir)
+                       if os.path.isdir(os.path.join(run_dir, d)))
         assert cells == ["biasmf-tiny-seed0", "lightgcn-tiny-seed0"]
         for cell in cells:
             assert os.path.exists(os.path.join(run_dir, cell,
                                                "spec.json"))
+        # the sweep also leaves its manifest + aggregation artifacts
+        assert {"sweep.json", "results.csv",
+                "leaderboard.md"} <= set(os.listdir(run_dir))
+        out = capsys.readouterr().out
+        assert "leaderboard ->" in out
 
     def test_run_reproduces_train_metrics(self, tmp_path, capsys):
         """`repro run spec.json` == `repro train <flags>` bit-identically."""
@@ -237,3 +243,76 @@ class TestDeprecatedEntryPoints:
         assert main(["recommend", "--snapshot", snap, "--users", "0",
                      "--k", "3"]) == 0
         assert "dataset:" not in capsys.readouterr().out
+
+
+class TestRunSweepEngine:
+    """CLI wiring of the parallel/resumable sweep engine."""
+
+    def _write_spec(self, tmp_path, **train_overrides):
+        spec = {"model": "biasmf", "dataset": "tiny",
+                "model_config": {"embedding_dim": 8},
+                "train_config": {"epochs": 1, "batch_size": 64,
+                                 "eval_every": 1, **train_overrides}}
+        path = str(tmp_path / "spec.json")
+        with open(path, "w") as fh:
+            json.dump(spec, fh)
+        return path
+
+    def test_run_with_workers_writes_identical_dirs(self, tmp_path,
+                                                    capsys):
+        import os
+        from repro.api import run_dir_fingerprint
+        path = self._write_spec(tmp_path)
+        seq_dir = str(tmp_path / "seq")
+        par_dir = str(tmp_path / "par")
+        assert main(["run", path, "--run-dir", seq_dir,
+                     "--sweep-seeds", "0,1", "--quiet"]) == 0
+        assert main(["run", path, "--run-dir", par_dir,
+                     "--sweep-seeds", "0,1", "--workers", "2",
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "leaderboard ->" in out
+        for cell in ("biasmf-tiny-seed0", "biasmf-tiny-seed1"):
+            assert run_dir_fingerprint(os.path.join(seq_dir, cell)) == \
+                run_dir_fingerprint(os.path.join(par_dir, cell))
+
+    def test_failed_cell_sets_exit_code(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path, fail_after_epoch=1)
+        run_dir = str(tmp_path / "sweep")
+        assert main(["run", path, "--run-dir", run_dir,
+                     "--sweep-seeds", "0,1", "--quiet"]) == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.out
+        assert "--resume" in captured.err
+
+    def test_resume_finishes_partial_sweep(self, tmp_path, capsys):
+        import os
+        import shutil
+        path = self._write_spec(tmp_path)
+        run_dir = str(tmp_path / "sweep")
+        assert main(["run", path, "--run-dir", run_dir,
+                     "--sweep-seeds", "0,1", "--quiet"]) == 0
+        shutil.rmtree(os.path.join(run_dir, "biasmf-tiny-seed1"))
+        capsys.readouterr()
+        assert main(["run", "--resume", run_dir, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "leaderboard ->" in out
+        assert os.path.exists(os.path.join(run_dir, "biasmf-tiny-seed1",
+                                           "status.json"))
+
+    def test_resume_rejects_spec_argument(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path)
+        assert main(["run", path, "--resume",
+                     str(tmp_path / "sweep")]) == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_run_requires_spec_or_resume(self, capsys):
+        assert main(["run"]) == 2
+        assert "spec file" in capsys.readouterr().err
+
+    def test_run_empty_spec_list_is_clean_error(self, tmp_path, capsys):
+        path = str(tmp_path / "empty.json")
+        with open(path, "w") as fh:
+            fh.write("[]")
+        assert main(["run", path]) == 2
+        assert "empty spec list" in capsys.readouterr().err

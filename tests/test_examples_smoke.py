@@ -69,6 +69,16 @@ def test_popularity_bias(capsys):
     assert "gini" in out
 
 
+def test_sweep(capsys):
+    _load_example("sweep").main(dataset="tiny", epochs=2,
+                                models=("biasmf", "lightgcn"),
+                                seeds=(0,), workers=2)
+    out = capsys.readouterr().out
+    assert "2/2 cells completed" in out
+    assert "leaderboard ->" in out
+    assert "nothing re-run" in out
+
+
 def test_denoising_case_study(capsys):
     _load_example("denoising_case_study").main(dataset_name="tiny",
                                                epochs=2)
