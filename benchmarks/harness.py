@@ -25,6 +25,18 @@ recorded for the float64 runs carry over unchanged; timing rows in the
 artifact below are float32 and are NOT comparable to pre-PR-1 float64
 rows (the ``dtype`` field keys that).
 
+Since the autograd-registry PR the bench suite additionally trains with
+the **fused** kernel backend (``BENCH_TRAIN_CONFIG.autograd_backend``):
+the fused BPR-loss and propagate-and-pool tape nodes replace the
+composed elementwise graphs on the hot path.  Forward propagation is
+bit-identical; gradients differ only by accumulation order, which moves
+metrics well inside seed noise (the registry parity tests bound it).
+The artifact was re-baselined at that point — the ``config`` digest
+changed (``TrainConfig`` gained the field) so old rows could not match
+anyway — and each record now carries ``autograd_backend`` plus the
+registry profiler's per-primitive breakdown, with before/after numbers
+kept in ``docs/BENCHMARKS.md``.
+
 Perf artifact: ``BENCH_hotpath.json``
 -------------------------------------
 Every run that trains through :func:`run_model` also appends a hot-path
@@ -48,8 +60,16 @@ timing record, and the bench session writes them to
           "epoch_seconds_mean": 0.02,   # train_seconds / epochs
           "sampler_seconds": 0.04,      # wall-clock inside BPR sampling
           "spmm_seconds": 0.56,         # wall-clock inside sparse matmuls
-          "eval_seconds": 0.08          # wall-clock inside chunked
+                                        # (the spmm primitive family:
+                                        # spmm / weighted_spmm /
+                                        # light_propagate, fwd + VJP)
+          "eval_seconds": 0.08,         # wall-clock inside chunked
                                         # ranking evaluation
+          "autograd_backend": "fused",  # TrainConfig.autograd_backend the
+                                        # run trained under (null = the
+                                        # composed reference graph)
+          "primitive_seconds": {...}    # per-primitive fwd+VJP wall-clock
+                                        # from the registry profiler
         }, ...
       ],
       "extras": {...}                   # free-form, e.g. the sampler /
@@ -104,8 +124,14 @@ KS = (20, 40)
 BENCH_MODEL_CONFIG = ModelConfig(embedding_dim=32, num_layers=3,
                                  ssl_weight=1.0)
 
-#: the shared optimization budget
-BENCH_TRAIN_CONFIG = TrainConfig(epochs=60, batch_size=512, eval_every=20)
+#: the shared optimization budget.  ``autograd_backend="fused"`` selects
+#: the fused BPR / propagate tape nodes for every bench training run —
+#: the production hot-path configuration since the registry PR
+#: re-baselined the artifact (see "Bench precision" above); the choice
+#: is spec-visible in the config digest and the per-record
+#: ``autograd_backend`` field.
+BENCH_TRAIN_CONFIG = TrainConfig(epochs=60, batch_size=512, eval_every=20,
+                                 autograd_backend="fused")
 
 #: precision every bench run trains in (see "Bench precision" above)
 BENCH_DTYPE = "float32"
@@ -125,7 +151,8 @@ def _config_digest(model_config, train_config, extra: tuple) -> str:
 
 
 def record_hotpath(model_name: str, dataset_name: str, fit: FitResult,
-                   config: str = "default") -> None:
+                   config: str = "default",
+                   autograd_backend: Optional[str] = None) -> None:
     """Append one hot-path timing record (see module docstring schema)."""
     epochs = len(fit.history)
     _hotpath_records.append({
@@ -139,6 +166,9 @@ def record_hotpath(model_name: str, dataset_name: str, fit: FitResult,
         "sampler_seconds": fit.sampler_seconds,
         "spmm_seconds": fit.spmm_seconds,
         "eval_seconds": fit.eval_seconds,
+        "autograd_backend": autograd_backend,
+        "primitive_seconds": {name: round(seconds, 6) for name, seconds
+                              in sorted(fit.primitive_seconds.items())},
     })
 
 
@@ -343,7 +373,8 @@ def run_model(model_name: str, dataset_name: str, seed: int = 0,
             fit = fit_model(model, data, train_config, seed=seed)
             record_hotpath(model_name, dataset_name, fit,
                            config=_config_digest(model_config, train_config,
-                                                 cache_key_extra))
+                                                 cache_key_extra),
+                           autograd_backend=train_config.autograd_backend)
             result = RunResult(
                 model_name=model_name, dataset_name=dataset_name,
                 metrics=dict(fit.best_metrics),

@@ -13,9 +13,16 @@ Measures, on the gowalla profile with the paper's 60-epoch budget:
   naive score-one-rank-one request loop (>= 2x asserted), plus the
   N-worker sharded path, which must return bit-identical lists and is
   asserted faster only when the machine actually has multiple cores;
-* one full LightGCN training run (float32 via the harness) with spmm
-  profiling on, so the ``BENCH_hotpath.json`` artifact carries an
-  epoch/sampler/spmm/eval wall-clock breakdown;
+* one full LightGCN training run (float32 via the harness, fused
+  kernels on per ``BENCH_TRAIN_CONFIG``) with spmm profiling on, so the
+  ``BENCH_hotpath.json`` artifact carries an epoch/sampler/spmm/eval
+  wall-clock breakdown plus the registry's per-primitive seconds;
+* the fused-kernel microbenchmark: the same 60-epoch budget trained
+  once with the fused BPR/propagate tape nodes and once with the
+  composed reference graph — loss trajectories and best metrics must
+  agree (float tolerance), the fused run must not be slower beyond
+  shared-machine noise, and both rows plus the measured speedup land in
+  the artifact (typical speedup ~1.15-1.35x on one core);
 * sweep-engine throughput (cells/sec over an 8-cell model x seed grid
   on gowalla) — the sequential in-process path against the
   ``workers=2`` process pool, with per-cell run-dir fingerprints
@@ -37,8 +44,10 @@ import os
 import time
 
 import numpy as np
+import pytest
 
 from repro.data import BPRSampler
+from repro.train import TrainConfig
 from repro.eval import (aggregate_metrics, compute_user_metrics,
                         evaluate_scores, rank_items)
 
@@ -385,6 +394,68 @@ def test_training_hotpath_breakdown():
     assert fit.eval_seconds > 0  # the 60-epoch budget evaluates 3 times
 
 
+#: headroom the fused-kernel gate allows for shared-machine timing noise.
+#: Typical measured speedup is 1.15-1.35x on one core, but one noisy
+#: ~1.3s run cannot assert a floor on that reliably, so the gate is
+#: "fused must not be meaningfully slower" — the measured speedup is
+#: recorded in the artifact either way, and the fused row itself is
+#: trend-gated against the committed baseline.
+FUSED_NOISE_TOLERANCE = 1.25
+
+
+def test_fused_kernel_microbenchmark():
+    """Fused vs composed tape over the 60-epoch LightGCN/gowalla budget.
+
+    Parity first: the fused kernels reorder gradient accumulation only,
+    so per-epoch losses and best metrics must match the composed graph
+    to float tolerance before the timing means anything.  Both training
+    runs append hot-path records (``autograd_backend`` distinguishes
+    them), so the artifact itself carries the before/after breakdown.
+    """
+    composed_cfg = TrainConfig(
+        epochs=BENCH_TRAIN_CONFIG.epochs,
+        batch_size=BENCH_TRAIN_CONFIG.batch_size,
+        eval_every=BENCH_TRAIN_CONFIG.eval_every,
+        autograd_backend=None)
+    fused = run_model("lightgcn", "gowalla")  # memoized breakdown run
+    composed = run_model("lightgcn", "gowalla", train_config=composed_cfg)
+
+    np.testing.assert_allclose(
+        [rec.loss for rec in fused.fit.history],
+        [rec.loss for rec in composed.fit.history], rtol=1e-6)
+    assert fused.metrics.keys() == composed.metrics.keys()
+    for key, want in composed.metrics.items():
+        assert fused.metrics[key] == pytest.approx(want, abs=1e-6), key
+
+    speedup = composed.fit.train_seconds / max(fused.fit.train_seconds,
+                                               1e-12)
+    fused_prims = fused.fit.primitive_seconds
+    record_hotpath_extra("fused_kernel_microbenchmark", {
+        "model": "lightgcn",
+        "dataset": "gowalla",
+        "epochs": BENCH_TRAIN_CONFIG.epochs,
+        "composed_train_seconds": composed.fit.train_seconds,
+        "fused_train_seconds": fused.fit.train_seconds,
+        "composed_spmm_seconds": composed.fit.spmm_seconds,
+        "fused_spmm_seconds": fused.fit.spmm_seconds,
+        "train_speedup_fused_vs_composed": speedup,
+        "fused_light_propagate_seconds":
+            fused_prims.get("light_propagate", 0.0),
+        "fused_bpr_loss_seconds": fused_prims.get("fused_bpr_loss", 0.0),
+    })
+    print(f"\nfused kernels: composed {composed.fit.train_seconds:.3f}s, "
+          f"fused {fused.fit.train_seconds:.3f}s, speedup {speedup:.2f}x")
+    # the fused kernels actually drove the run
+    assert "light_propagate" in fused_prims
+    assert "fused_bpr_loss" in fused_prims
+    assert "light_propagate" not in composed.fit.primitive_seconds
+    assert fused.fit.train_seconds <= \
+        composed.fit.train_seconds * FUSED_NOISE_TOLERANCE, (
+            f"fused tape ({fused.fit.train_seconds:.3f}s) slower than the "
+            f"composed graph ({composed.fit.train_seconds:.3f}s) beyond "
+            f"the {FUSED_NOISE_TOLERANCE}x noise allowance")
+
+
 def test_bench_trend_no_regression():
     """This session's timings must not regress vs the committed artifact."""
     run_model("lightgcn", "gowalla")  # memoized: reuses the breakdown run
@@ -402,5 +473,6 @@ if __name__ == "__main__":
         pathlib.Path(tempfile.mkdtemp()))
     test_sweep_engine_microbenchmark(pathlib.Path(tempfile.mkdtemp()))
     test_training_hotpath_breakdown()
+    test_fused_kernel_microbenchmark()
     test_bench_trend_no_regression()
     print(f"wrote {write_hotpath_artifact()}")

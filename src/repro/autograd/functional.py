@@ -13,6 +13,8 @@ from typing import Optional
 
 import numpy as np
 
+from .fused import fused_bpr_scores
+from .primitives import fused_kernels_enabled
 from .tensor import Tensor, as_tensor, cast_like, concat
 
 
@@ -41,7 +43,12 @@ def bpr_loss(pos_scores: Tensor, neg_scores: Tensor) -> Tensor:
     """Bayesian Personalized Ranking loss (paper Eq 15).
 
     ``-mean(log sigmoid(pos - neg))`` over sampled ``(u, v+, v-)`` triplets.
+    Routes through the one-node :func:`repro.autograd.fused
+    .fused_bpr_scores` kernel when its ``fused`` backend is selected
+    (equal within float tolerance; the composed graph stays the default).
     """
+    if fused_kernels_enabled("fused_bpr_scores"):
+        return fused_bpr_scores(pos_scores, neg_scores)
     return -(pos_scores - neg_scores).logsigmoid().mean()
 
 

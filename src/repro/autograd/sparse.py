@@ -13,6 +13,12 @@ Two primitives cover everything the graph encoders need:
   end-to-end: edge keep-probabilities parameterize the augmented adjacency
   and receive gradients through message passing.
 
+Both are registered primitives (:mod:`repro.autograd.primitives`): their
+forwards and VJPs live in the same registry as the dense ops, so the
+per-primitive profiler and backend table cover them, and the fused
+``light_propagate`` kernel (:mod:`repro.autograd.fused`) builds on the
+same caches.
+
 Operand caching
 ---------------
 Both primitives sit on the training hot path, called once per layer per
@@ -22,7 +28,8 @@ time if done naively:
 * :func:`spmm` caches ``(CSR, CSR^T)`` per adjacency object (keyed by
   identity with weakref eviction, one variant per dtype).  The adjacency
   is assumed constant — mutating a matrix in place after its first
-  ``spmm`` call requires :func:`clear_sparse_caches`.
+  ``spmm`` call requires :func:`clear_sparse_caches`.  The VJP looks the
+  pair up again at backward time: identity-keyed hits, deterministic.
 * :func:`weighted_spmm` caches the *structure* (CSR index arrays and the
   COO→CSR permutation, forward and transposed) per ``(rows, cols, shape)``
   pattern, so each call only gathers the current values into the cached
@@ -31,52 +38,65 @@ time if done naively:
   sums duplicates).
 
 Wall-clock spent inside the sparse matmuls can be profiled with
-:func:`enable_spmm_profiling` / :func:`spmm_profile`; the bench harness
-uses this for the ``BENCH_hotpath.json`` artifact.
+:func:`enable_spmm_profiling` / :func:`spmm_profile` — now thin views
+over the per-primitive profile registry, summed across the SPMM family
+(:data:`SPMM_PRIMITIVES`); the bench harness uses this for the
+``BENCH_hotpath.json`` artifact.
 """
 
 from __future__ import annotations
 
-import time
 import weakref
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
+from . import primitives as _prims
+from .primitives import defvjp, primitive
 from .tensor import Tensor, as_tensor
 
-# --------------------------------------------------------------------- #
-# profiling
-# --------------------------------------------------------------------- #
+#: primitives whose wall-clock the legacy spmm profile view aggregates
+SPMM_PRIMITIVES = ("spmm", "weighted_spmm", "light_propagate")
 
-_profile = {"enabled": False, "seconds": 0.0, "calls": 0}
 
+# --------------------------------------------------------------------- #
+# profiling (views over the per-primitive registry)
+# --------------------------------------------------------------------- #
 
 def enable_spmm_profiling(enabled: bool = True) -> None:
-    """Toggle wall-clock accounting of every sparse matmul (fwd + bwd)."""
-    _profile["enabled"] = bool(enabled)
+    """Toggle wall-clock accounting of every sparse matmul (fwd + bwd).
+
+    Back-compat alias for :func:`repro.autograd.primitives
+    .enable_primitive_profiling` — profiling is now per-primitive, so
+    enabling it times every registered op, not just the spmm family.
+    """
+    _prims.enable_primitive_profiling(enabled)
 
 
 def reset_spmm_profile() -> None:
-    """Zero the accumulated spmm counters."""
-    _profile["seconds"] = 0.0
-    _profile["calls"] = 0
+    """Zero the accumulated counters of the SPMM-family primitives."""
+    _prims.reset_primitive_profile(SPMM_PRIMITIVES)
 
 
 def spmm_profile() -> Dict[str, float]:
-    """Return ``{"seconds", "calls", "enabled"}`` of the spmm counters."""
-    return dict(_profile)
+    """Return ``{"seconds", "calls", "enabled"}`` summed over the family.
 
-
-def _matmul(csr, arr: np.ndarray) -> np.ndarray:
-    if not _profile["enabled"]:
-        return csr @ arr
-    start = time.perf_counter()
-    out = csr @ arr
-    _profile["seconds"] += time.perf_counter() - start
-    _profile["calls"] += 1
-    return out
+    Derived from :func:`repro.autograd.primitives.primitive_profile`,
+    aggregating the :data:`SPMM_PRIMITIVES` entries; forward applications
+    and VJP invocations each count as one call, preserving the historical
+    fwd+bwd call accounting.
+    """
+    profile = _prims.primitive_profile()
+    seconds = 0.0
+    calls = 0
+    for name in SPMM_PRIMITIVES:
+        entry = profile.get(name)
+        if entry is not None:
+            seconds += entry["seconds"]
+            calls += int(entry["calls"])
+    return {"enabled": _prims.primitive_profiling_enabled(),
+            "seconds": seconds, "calls": calls}
 
 
 # --------------------------------------------------------------------- #
@@ -130,20 +150,21 @@ def _cached_csr_pair(matrix, dtype) -> Tuple[sp.csr_matrix, sp.csr_matrix]:
     return pair
 
 
+_spmm = primitive("spmm")(
+    lambda matrix, dense: _cached_csr_pair(matrix, dense.dtype)[0] @ dense)
+defvjp("spmm", None,
+       lambda g, ans, matrix, dense:
+       _cached_csr_pair(matrix, dense.dtype)[1] @ g)
+
+
 def spmm(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
     """Multiply a constant sparse ``matrix`` by a dense tensor.
 
     Backward: ``d dense = matrix.T @ grad``.  The CSR form and its
     transpose are cached per adjacency and reused across every batch and
-    backward pass.
+    backward pass (the VJP's cache lookup is an identity-keyed hit).
     """
-    dense = as_tensor(dense)
-    csr, csr_t = _cached_csr_pair(matrix, dense.data.dtype)
-
-    def backward(g: np.ndarray) -> None:
-        dense._accumulate(_matmul(csr_t, g))
-
-    return Tensor._make(_matmul(csr, dense.data), (dense,), backward, "spmm")
+    return _spmm(matrix, as_tensor(dense))
 
 
 # --------------------------------------------------------------------- #
@@ -197,6 +218,54 @@ def _cached_pattern(rows: np.ndarray, cols: np.ndarray,
     return pattern
 
 
+def _weighted_csr(rows, cols, vals, shape, pattern):
+    """Assemble the forward CSR from a cached pattern (or exact scipy)."""
+    if pattern is None:  # duplicate coordinates: exact scipy conversion
+        return sp.csr_matrix((vals, (rows, cols)), shape=shape)
+    return sp.csr_matrix((vals[pattern["fwd_order"]],
+                          pattern["fwd_indices"], pattern["fwd_indptr"]),
+                         shape=shape, copy=False)
+
+
+def _weighted_spmm_fwd(rows, cols, vals, dense, shape):
+    pattern = _cached_pattern(rows, cols, shape)
+    return _weighted_csr(rows, cols, vals, shape, pattern) @ dense
+
+
+def _vjp_weighted_values(g, ans, rows, cols, vals, dense, shape):
+    # d value[e] = <g[row_e], X[col_e]>
+    pattern = _cached_pattern(rows, cols, shape)
+    if pattern is None:
+        return np.einsum("ed,ed->e", g[rows], dense[cols])
+    # segment form over the cached CSR layout: expand g by
+    # row-run-lengths (sequential, vs the random g[rows] gather) and
+    # read X in the already-sorted slot order, then permute the
+    # per-slot dots back to input order
+    g_rows = np.repeat(g, pattern["fwd_counts"], axis=0)
+    slot_dots = np.einsum("ed,ed->e", g_rows,
+                          dense[pattern["fwd_indices"]])
+    grad_vals = np.empty_like(slot_dots)
+    grad_vals[pattern["fwd_order"]] = slot_dots
+    return grad_vals
+
+
+def _vjp_weighted_dense(g, ans, rows, cols, vals, dense, shape):
+    pattern = _cached_pattern(rows, cols, shape)
+    if pattern is None:
+        csr_t = _weighted_csr(rows, cols, vals, shape, pattern).T.tocsr()
+    else:
+        csr_t = sp.csr_matrix(
+            (vals[pattern["bwd_order"]],
+             pattern["bwd_indices"], pattern["bwd_indptr"]),
+            shape=(shape[1], shape[0]), copy=False)
+    return csr_t @ g
+
+
+_weighted_spmm = primitive("weighted_spmm")(_weighted_spmm_fwd)
+defvjp("weighted_spmm", None, None,
+       _vjp_weighted_values, _vjp_weighted_dense)
+
+
 def weighted_spmm(rows: np.ndarray,
                   cols: np.ndarray,
                   values: Tensor,
@@ -223,46 +292,8 @@ def weighted_spmm(rows: np.ndarray,
     cols = np.asarray(cols, dtype=np.int64)
     if values.data.ndim != 1 or values.data.shape[0] != rows.shape[0]:
         raise ValueError("values must be 1-D with one entry per coordinate")
-
-    pattern = _cached_pattern(rows, cols, shape)
-    vals = values.data
-    if pattern is None:  # duplicate coordinates: exact scipy conversion
-        csr = sp.csr_matrix((vals, (rows, cols)), shape=shape)
-    else:
-        csr = sp.csr_matrix((vals[pattern["fwd_order"]],
-                             pattern["fwd_indices"], pattern["fwd_indptr"]),
-                            shape=shape, copy=False)
-    dense_data = dense.data
-
-    def backward(g: np.ndarray) -> None:
-        if dense.requires_grad:
-            if pattern is None:
-                csr_t = csr.T.tocsr()
-            else:
-                csr_t = sp.csr_matrix(
-                    (vals[pattern["bwd_order"]],
-                     pattern["bwd_indices"], pattern["bwd_indptr"]),
-                    shape=(shape[1], shape[0]), copy=False)
-            dense._accumulate(_matmul(csr_t, g))
-        if values.requires_grad:
-            # d value[e] = <g[row_e], X[col_e]>
-            if pattern is None:
-                grad_vals = np.einsum("ed,ed->e", g[rows],
-                                      dense_data[cols])
-            else:
-                # segment form over the cached CSR layout: expand g by
-                # row-run-lengths (sequential, vs the random g[rows]
-                # gather) and read X in the already-sorted slot order,
-                # then permute the per-slot dots back to input order
-                g_rows = np.repeat(g, pattern["fwd_counts"], axis=0)
-                slot_dots = np.einsum("ed,ed->e", g_rows,
-                                      dense_data[pattern["fwd_indices"]])
-                grad_vals = np.empty_like(slot_dots)
-                grad_vals[pattern["fwd_order"]] = slot_dots
-            values._accumulate(grad_vals)
-
-    return Tensor._make(_matmul(csr, dense_data), (values, dense), backward,
-                        "weighted_spmm")
+    return _weighted_spmm(rows, cols, values, dense,
+                          shape=(int(shape[0]), int(shape[1])))
 
 
 def coo_from_scipy(matrix: sp.spmatrix):

@@ -16,20 +16,29 @@ Design notes
   precision, which also makes finite-difference gradient checking tight.
   Training throughput workloads opt into ``float32``, which halves memory
   traffic through the spmm/embedding hot path.
-* The graph is dynamic (define-by-run).  Each ``Tensor`` produced by an
-  operation keeps references to its parents and a backward closure; calling
-  :meth:`Tensor.backward` topologically sorts the tape and accumulates
-  gradients into ``tensor.grad``.
+* The graph is dynamic (define-by-run).  Every operation is a registered
+  *primitive* (:mod:`repro.autograd.primitives`): a forward function plus
+  per-argument VJP functions.  A ``Tensor`` produced by an operation keeps
+  references to its parents and one generic tape node recording
+  ``(primitive, args, kwargs)``; calling :meth:`Tensor.backward`
+  topologically sorts the tape and dispatches each node to its
+  primitive's registered VJPs, accumulating into ``tensor.grad``.  The
+  dunder methods below are thin wrappers over the registry — gradients
+  never live in closures, so new ops (including fused or alternate-
+  backend kernels) plug in without touching this file.
 * Broadcasting follows numpy semantics; gradients are reduced back to the
   operand shape by :func:`unbroadcast`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
+
+from . import primitives as _prims
+from .primitives import defvjp, primitive
 
 try:  # the C segment-sum kernel behind scipy's own sparse matmul
     from scipy.sparse import _sparsetools as _sptools
@@ -38,8 +47,6 @@ except ImportError:  # pragma: no cover - layout differs on odd versions
 
 Scalar = Union[int, float]
 ArrayLike = Union[Scalar, Sequence, np.ndarray, "Tensor"]
-
-_grad_enabled = True
 
 _default_dtype = np.float64
 _FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
@@ -86,20 +93,18 @@ class no_grad:
     """Context manager that disables graph construction (inference mode)."""
 
     def __enter__(self):
-        global _grad_enabled
-        self._prev = _grad_enabled
-        _grad_enabled = False
+        self._prev = _prims.is_grad_enabled()
+        _prims.set_grad_enabled(False)
         return self
 
     def __exit__(self, *exc):
-        global _grad_enabled
-        _grad_enabled = self._prev
+        _prims.set_grad_enabled(self._prev)
         return False
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record the autograd tape."""
-    return _grad_enabled
+    return _prims.is_grad_enabled()
 
 
 def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -177,7 +182,7 @@ class Tensor:
         tensor when :meth:`backward` is called downstream.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "_op")
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_node", "_op")
     __array_priority__ = 100  # make numpy defer to our reflected operators
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False):
@@ -188,7 +193,7 @@ class Tensor:
         self.requires_grad = bool(requires_grad)
         self.grad: Optional[np.ndarray] = None
         self._parents: Tuple["Tensor", ...] = ()
-        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._node: Optional[_prims.Node] = None
         self._op = "leaf"
 
     # ------------------------------------------------------------------ #
@@ -235,22 +240,8 @@ class Tensor:
         self.grad = None
 
     # ------------------------------------------------------------------ #
-    # graph construction helper
+    # reverse mode
     # ------------------------------------------------------------------ #
-    @staticmethod
-    def _make(data: np.ndarray,
-              parents: Tuple["Tensor", ...],
-              backward: Callable[[np.ndarray], None],
-              op: str) -> "Tensor":
-        """Create a non-leaf tensor recording ``backward`` on the tape."""
-        requires = _grad_enabled and any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=requires)
-        if requires:
-            out._parents = tuple(p for p in parents if p.requires_grad)
-            out._backward = backward
-            out._op = op
-        return out
-
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
             self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
@@ -263,7 +254,8 @@ class Tensor:
         """Run reverse-mode differentiation from this tensor.
 
         ``grad`` defaults to ones (so scalars need no argument, matching the
-        PyTorch convention).
+        PyTorch convention).  Each non-leaf node dispatches through the
+        primitive registry (:func:`repro.autograd.primitives.backpropagate`).
         """
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not "
@@ -296,34 +288,20 @@ class Tensor:
 
         self._accumulate(grad)
         for node in reversed(order):
-            if node._backward is None or node.grad is None:
+            if node._node is None or node.grad is None:
                 continue
-            node._backward(node.grad)
+            _prims.backpropagate(node)
 
     # ------------------------------------------------------------------ #
-    # elementwise arithmetic
+    # elementwise arithmetic (thin wrappers over registered primitives)
     # ------------------------------------------------------------------ #
     def __add__(self, other: ArrayLike) -> "Tensor":
-        other = _operand(other, self.data.dtype)
-        a, b = self, other
-
-        def backward(g: np.ndarray) -> None:
-            if a.requires_grad:
-                a._accumulate(unbroadcast(g, a.shape))
-            if b.requires_grad:
-                b._accumulate(unbroadcast(g, b.shape))
-
-        return Tensor._make(a.data + b.data, (a, b), backward, "add")
+        return _add(self, _operand(other, self.data.dtype))
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
-        a = self
-
-        def backward(g: np.ndarray) -> None:
-            a._accumulate(-g)
-
-        return Tensor._make(-a.data, (a,), backward, "neg")
+        return _neg(self)
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         return self + (-_operand(other, self.data.dtype))
@@ -332,31 +310,12 @@ class Tensor:
         return _operand(other, self.data.dtype) + (-self)
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
-        other = _operand(other, self.data.dtype)
-        a, b = self, other
-
-        def backward(g: np.ndarray) -> None:
-            if a.requires_grad:
-                a._accumulate(unbroadcast(g * b.data, a.shape))
-            if b.requires_grad:
-                b._accumulate(unbroadcast(g * a.data, b.shape))
-
-        return Tensor._make(a.data * b.data, (a, b), backward, "mul")
+        return _mul(self, _operand(other, self.data.dtype))
 
     __rmul__ = __mul__
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
-        other = _operand(other, self.data.dtype)
-        a, b = self, other
-
-        def backward(g: np.ndarray) -> None:
-            if a.requires_grad:
-                a._accumulate(unbroadcast(g / b.data, a.shape))
-            if b.requires_grad:
-                b._accumulate(unbroadcast(-g * a.data / (b.data ** 2),
-                                          b.shape))
-
-        return Tensor._make(a.data / b.data, (a, b), backward, "div")
+        return _div(self, _operand(other, self.data.dtype))
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return _operand(other, self.data.dtype) / self
@@ -364,12 +323,7 @@ class Tensor:
     def __pow__(self, exponent: Scalar) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
-        a = self
-
-        def backward(g: np.ndarray) -> None:
-            a._accumulate(g * exponent * np.power(a.data, exponent - 1))
-
-        return Tensor._make(np.power(a.data, exponent), (a,), backward, "pow")
+        return _pow(self, exponent=exponent)
 
     # comparison helpers return plain numpy bool arrays (non-differentiable)
     def __gt__(self, other: ArrayLike) -> np.ndarray:
@@ -388,228 +342,74 @@ class Tensor:
     # elementwise functions
     # ------------------------------------------------------------------ #
     def exp(self) -> "Tensor":
-        a = self
-        out_data = np.exp(a.data)
-
-        def backward(g: np.ndarray) -> None:
-            a._accumulate(g * out_data)
-
-        return Tensor._make(out_data, (a,), backward, "exp")
+        return _exp(self)
 
     def log(self) -> "Tensor":
-        a = self
-
-        def backward(g: np.ndarray) -> None:
-            a._accumulate(g / a.data)
-
-        return Tensor._make(np.log(a.data), (a,), backward, "log")
+        return _log(self)
 
     def sqrt(self) -> "Tensor":
-        a = self
-        out_data = np.sqrt(a.data)
-
-        def backward(g: np.ndarray) -> None:
-            a._accumulate(g * 0.5 / out_data)
-
-        return Tensor._make(out_data, (a,), backward, "sqrt")
+        return _sqrt(self)
 
     def sigmoid(self) -> "Tensor":
-        a = self
-        # numerically stable logistic
-        out_data = np.where(a.data >= 0,
-                            1.0 / (1.0 + np.exp(-np.clip(a.data, 0, None))),
-                            np.exp(np.clip(a.data, None, 0)) /
-                            (1.0 + np.exp(np.clip(a.data, None, 0))))
-
-        def backward(g: np.ndarray) -> None:
-            a._accumulate(g * out_data * (1.0 - out_data))
-
-        return Tensor._make(out_data, (a,), backward, "sigmoid")
+        return _sigmoid(self)
 
     def tanh(self) -> "Tensor":
-        a = self
-        out_data = np.tanh(a.data)
-
-        def backward(g: np.ndarray) -> None:
-            a._accumulate(g * (1.0 - out_data ** 2))
-
-        return Tensor._make(out_data, (a,), backward, "tanh")
+        return _tanh(self)
 
     def relu(self) -> "Tensor":
-        a = self
-        mask = a.data > 0
-
-        def backward(g: np.ndarray) -> None:
-            a._accumulate(g * mask)
-
-        return Tensor._make(a.data * mask, (a,), backward, "relu")
+        return _relu(self)
 
     def leaky_relu(self, negative_slope: float = 0.5) -> "Tensor":
         """LeakyReLU; the paper fixes the slope at 0.5 (Sec IV-A.3)."""
-        a = self
-        mask = a.data > 0
-        slope = np.where(mask, 1.0, negative_slope)
-
-        def backward(g: np.ndarray) -> None:
-            a._accumulate(g * slope)
-
-        return Tensor._make(a.data * slope, (a,), backward, "leaky_relu")
+        return _leaky_relu(self, negative_slope=negative_slope)
 
     def softplus(self) -> "Tensor":
-        a = self
-        # log(1 + e^x) computed stably
-        out_data = np.logaddexp(0.0, a.data)
-
-        def backward(g: np.ndarray) -> None:
-            sig = np.where(a.data >= 0,
-                           1.0 / (1.0 + np.exp(-np.clip(a.data, 0, None))),
-                           np.exp(np.clip(a.data, None, 0)) /
-                           (1.0 + np.exp(np.clip(a.data, None, 0))))
-            a._accumulate(g * sig)
-
-        return Tensor._make(out_data, (a,), backward, "softplus")
+        return _softplus(self)
 
     def logsigmoid(self) -> "Tensor":
         """log(sigmoid(x)) = -softplus(-x), computed stably."""
         return -(-self).softplus()
 
     def abs(self) -> "Tensor":
-        a = self
-        sign = np.sign(a.data)
-
-        def backward(g: np.ndarray) -> None:
-            a._accumulate(g * sign)
-
-        return Tensor._make(np.abs(a.data), (a,), backward, "abs")
+        return _abs(self)
 
     def clamp(self, low: Optional[float] = None,
               high: Optional[float] = None) -> "Tensor":
         """Clip values; gradient is passed through only inside the range."""
-        a = self
-        out_data = np.clip(a.data, low, high)
-        inside = np.ones_like(a.data)
-        if low is not None:
-            inside = inside * (a.data >= low)
-        if high is not None:
-            inside = inside * (a.data <= high)
-
-        def backward(g: np.ndarray) -> None:
-            a._accumulate(g * inside)
-
-        return Tensor._make(out_data, (a,), backward, "clamp")
+        return _clamp(self, low=low, high=high)
 
     # ------------------------------------------------------------------ #
     # reductions
     # ------------------------------------------------------------------ #
     def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None,
             keepdims: bool = False) -> "Tensor":
-        a = self
-        out_data = a.data.sum(axis=axis, keepdims=keepdims)
-
-        def backward(g: np.ndarray) -> None:
-            grad = g
-            if axis is not None and not keepdims:
-                grad = np.expand_dims(grad, axis)
-            # read-only broadcast view is fine: _accumulate never mutates
-            # its argument (it copies on first touch, then adds into the
-            # existing buffer)
-            a._accumulate(np.broadcast_to(grad, a.shape))
-
-        return Tensor._make(out_data, (a,), backward, "sum")
+        return _sum(self, axis=axis, keepdims=keepdims)
 
     def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None,
              keepdims: bool = False) -> "Tensor":
-        a = self
-        out_data = a.data.mean(axis=axis, keepdims=keepdims)
-        count = a.size if axis is None else (
-            np.prod([a.shape[ax] for ax in np.atleast_1d(axis)]))
-
-        def backward(g: np.ndarray) -> None:
-            grad = g / count
-            if axis is not None and not keepdims:
-                grad = np.expand_dims(grad, axis)
-            a._accumulate(np.broadcast_to(grad, a.shape))
-
-        return Tensor._make(out_data, (a,), backward, "mean")
+        return _mean(self, axis=axis, keepdims=keepdims)
 
     def max(self, axis: Optional[int] = None,
             keepdims: bool = False) -> "Tensor":
-        a = self
-        out_data = a.data.max(axis=axis, keepdims=keepdims)
-
-        def backward(g: np.ndarray) -> None:
-            if axis is None:
-                mask = (a.data == out_data)
-                share = mask / mask.sum()
-                a._accumulate(g * share)
-            else:
-                expanded = out_data if keepdims else np.expand_dims(out_data,
-                                                                    axis)
-                mask = (a.data == expanded)
-                share = mask / mask.sum(axis=axis, keepdims=True)
-                grad = g if keepdims else np.expand_dims(g, axis)
-                a._accumulate(grad * share)
-
-        return Tensor._make(out_data, (a,), backward, "max")
+        return _max(self, axis=axis, keepdims=keepdims)
 
     def logsumexp(self, axis: int = -1, keepdims: bool = False) -> "Tensor":
         """Stable log-sum-exp along ``axis`` with exact softmax gradient."""
-        a = self
-        m = a.data.max(axis=axis, keepdims=True)
-        shifted = np.exp(a.data - m)
-        total = shifted.sum(axis=axis, keepdims=True)
-        out_data = (np.log(total) + m)
-        soft = shifted / total
-        if not keepdims:
-            out_data = np.squeeze(out_data, axis=axis)
-
-        def backward(g: np.ndarray) -> None:
-            grad = g if keepdims else np.expand_dims(g, axis)
-            a._accumulate(grad * soft)
-
-        return Tensor._make(out_data, (a,), backward, "logsumexp")
+        return _logsumexp(self, axis=axis, keepdims=keepdims)
 
     # ------------------------------------------------------------------ #
     # linear algebra & shape ops
     # ------------------------------------------------------------------ #
     def __matmul__(self, other: ArrayLike) -> "Tensor":
-        other = _operand(other, self.data.dtype)
-        a, b = self, other
-
-        def backward(g: np.ndarray) -> None:
-            if a.requires_grad:
-                if b.data.ndim == 1:
-                    a._accumulate(np.outer(g, b.data) if a.data.ndim == 2
-                                  else g * b.data)
-                else:
-                    a._accumulate(g @ b.data.T)
-            if b.requires_grad:
-                if a.data.ndim == 1:
-                    b._accumulate(np.outer(a.data, g) if b.data.ndim == 2
-                                  else g * a.data)
-                else:
-                    b._accumulate(a.data.T @ g)
-
-        return Tensor._make(a.data @ b.data, (a, b), backward, "matmul")
+        return _matmul(self, _operand(other, self.data.dtype))
 
     def transpose(self) -> "Tensor":
-        a = self
-
-        def backward(g: np.ndarray) -> None:
-            a._accumulate(g.T)
-
-        return Tensor._make(a.data.T, (a,), backward, "transpose")
+        return _transpose(self)
 
     def reshape(self, *shape: int) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        a = self
-        old_shape = a.shape
-
-        def backward(g: np.ndarray) -> None:
-            a._accumulate(g.reshape(old_shape))
-
-        return Tensor._make(a.data.reshape(shape), (a,), backward, "reshape")
+        return _reshape(self, shape=shape)
 
     def take_rows(self, indices: np.ndarray) -> "Tensor":
         """Gather rows (axis 0); backward scatter-adds into the source.
@@ -624,97 +424,304 @@ class Tensor:
         shapes, and unlike bincount its work scales with the batch
         instead of ``table.size``.
         """
-        a = self
         idx = np.asarray(indices, dtype=np.int64)
         if idx.size and (idx < 0).any():
             # normalize python-style negative indices: the selection
-            # matrix below needs non-negative row positions
-            if (idx < -len(a.data)).any():
+            # matrix in the VJP needs non-negative row positions
+            if (idx < -len(self.data)).any():
                 raise IndexError(
                     f"index {int(idx.min())} is out of bounds for axis 0 "
-                    f"with size {len(a.data)}")
-            idx = np.where(idx < 0, idx + len(a.data), idx)
-
-        def backward(g: np.ndarray) -> None:
-            if a.data.ndim == 2 and idx.ndim == 1 and idx.size:
-                n = idx.shape[0]
-                num_rows, dim = a.data.shape
-                dtype = a.data.dtype
-                g = np.ascontiguousarray(g, dtype=dtype)
-                ones = np.ones(n, dtype=dtype)
-                indptr = np.arange(n + 1, dtype=idx.dtype)
-                if _sptools is not None:
-                    # grad += S^T g; S^T is the (num_rows, n) one-hot
-                    # selection in CSC form, whose index arrays are
-                    # exactly (indptr, idx)
-                    grad = np.zeros((num_rows, dim), dtype=dtype)
-                    _sptools.csc_matvecs(num_rows, n, dim, indptr, idx,
-                                         ones, g.ravel(), grad.ravel())
-                else:
-                    select = sp.csr_matrix((ones, idx, indptr),
-                                           shape=(n, num_rows))
-                    grad = select.T @ g
-            else:
-                grad = np.zeros_like(a.data)
-                np.add.at(grad, idx, g)
-            a._accumulate(grad)
-
-        return Tensor._make(a.data[idx], (a,), backward, "take_rows")
+                    f"with size {len(self.data)}")
+            idx = np.where(idx < 0, idx + len(self.data), idx)
+        return _take_rows(self, idx)
 
     def __getitem__(self, key) -> "Tensor":
-        a = self
+        # the key rides in kwargs so list keys keep their (fancy-indexing)
+        # semantics instead of being unwrapped as a Tensor container
+        return _getitem(self, key=key)
 
-        def backward(g: np.ndarray) -> None:
-            grad = np.zeros_like(a.data)
-            np.add.at(grad, key, g)
-            a._accumulate(grad)
 
-        return Tensor._make(a.data[key], (a,), backward, "getitem")
+# --------------------------------------------------------------------- #
+# primitive registrations: elementwise arithmetic
+# --------------------------------------------------------------------- #
+
+_add = primitive("add")(lambda a, b: a + b)
+defvjp("add",
+       lambda g, ans, a, b: unbroadcast(g, a.shape),
+       lambda g, ans, a, b: unbroadcast(g, b.shape))
+
+_neg = primitive("neg")(lambda a: -a)
+defvjp("neg", lambda g, ans, a: -g)
+
+_mul = primitive("mul")(lambda a, b: a * b)
+defvjp("mul",
+       lambda g, ans, a, b: unbroadcast(g * b, a.shape),
+       lambda g, ans, a, b: unbroadcast(g * a, b.shape))
+
+_div = primitive("div")(lambda a, b: a / b)
+defvjp("div",
+       lambda g, ans, a, b: unbroadcast(g / b, a.shape),
+       lambda g, ans, a, b: unbroadcast(-g * a / (b ** 2), b.shape))
+
+_pow = primitive("pow")(lambda a, exponent: np.power(a, exponent))
+defvjp("pow",
+       lambda g, ans, a, exponent: g * exponent * np.power(a, exponent - 1))
+
+
+# --------------------------------------------------------------------- #
+# primitive registrations: elementwise functions
+# --------------------------------------------------------------------- #
+
+_exp = primitive("exp")(np.exp)
+defvjp("exp", lambda g, ans, a: g * ans)
+
+_log = primitive("log")(np.log)
+defvjp("log", lambda g, ans, a: g / a)
+
+_sqrt = primitive("sqrt")(np.sqrt)
+defvjp("sqrt", lambda g, ans, a: g * 0.5 / ans)
+
+
+def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic (shared by sigmoid/softplus VJPs)."""
+    return np.where(x >= 0,
+                    1.0 / (1.0 + np.exp(-np.clip(x, 0, None))),
+                    np.exp(np.clip(x, None, 0)) /
+                    (1.0 + np.exp(np.clip(x, None, 0))))
+
+
+_sigmoid = primitive("sigmoid")(_stable_sigmoid)
+defvjp("sigmoid", lambda g, ans, a: g * ans * (1.0 - ans))
+
+_tanh = primitive("tanh")(np.tanh)
+defvjp("tanh", lambda g, ans, a: g * (1.0 - ans ** 2))
+
+_relu = primitive("relu")(lambda a: a * (a > 0))
+defvjp("relu", lambda g, ans, a: g * (a > 0))
+
+_leaky_relu = primitive("leaky_relu")(
+    lambda a, negative_slope: a * np.where(a > 0, 1.0, negative_slope))
+defvjp("leaky_relu",
+       lambda g, ans, a, negative_slope:
+       g * np.where(a > 0, 1.0, negative_slope))
+
+# log(1 + e^x) computed stably
+_softplus = primitive("softplus")(lambda a: np.logaddexp(0.0, a))
+defvjp("softplus", lambda g, ans, a: g * _stable_sigmoid(a))
+
+_abs = primitive("abs")(np.abs)
+defvjp("abs", lambda g, ans, a: g * np.sign(a))
+
+
+def _clamp_inside(a: np.ndarray, low, high) -> np.ndarray:
+    inside = np.ones_like(a)
+    if low is not None:
+        inside = inside * (a >= low)
+    if high is not None:
+        inside = inside * (a <= high)
+    return inside
+
+
+_clamp = primitive("clamp")(lambda a, low, high: np.clip(a, low, high))
+defvjp("clamp", lambda g, ans, a, low, high: g * _clamp_inside(a, low, high))
+
+
+# --------------------------------------------------------------------- #
+# primitive registrations: reductions
+# --------------------------------------------------------------------- #
+
+_sum = primitive("sum")(
+    lambda a, axis, keepdims: a.sum(axis=axis, keepdims=keepdims))
+
+
+def _vjp_sum(g, ans, a, axis, keepdims):
+    grad = g
+    if axis is not None and not keepdims:
+        grad = np.expand_dims(grad, axis)
+    # read-only broadcast view is fine: _accumulate never mutates its
+    # argument (it copies on first touch, then adds into the existing
+    # buffer)
+    return np.broadcast_to(grad, a.shape)
+
+
+defvjp("sum", _vjp_sum)
+
+_mean = primitive("mean")(
+    lambda a, axis, keepdims: a.mean(axis=axis, keepdims=keepdims))
+
+
+def _vjp_mean(g, ans, a, axis, keepdims):
+    count = a.size if axis is None else (
+        np.prod([a.shape[ax] for ax in np.atleast_1d(axis)]))
+    grad = g / count
+    if axis is not None and not keepdims:
+        grad = np.expand_dims(grad, axis)
+    return np.broadcast_to(grad, a.shape)
+
+
+defvjp("mean", _vjp_mean)
+
+_max = primitive("max")(
+    lambda a, axis, keepdims: a.max(axis=axis, keepdims=keepdims))
+
+
+def _vjp_max(g, ans, a, axis, keepdims):
+    if axis is None:
+        mask = (a == ans)
+        share = mask / mask.sum()
+        return g * share
+    expanded = ans if keepdims else np.expand_dims(ans, axis)
+    mask = (a == expanded)
+    share = mask / mask.sum(axis=axis, keepdims=True)
+    grad = g if keepdims else np.expand_dims(g, axis)
+    return grad * share
+
+
+defvjp("max", _vjp_max)
+
+
+def _logsumexp_fwd(a, axis, keepdims):
+    m = a.max(axis=axis, keepdims=True)
+    shifted = np.exp(a - m)
+    total = shifted.sum(axis=axis, keepdims=True)
+    out = np.log(total) + m
+    soft = shifted / total
+    if not keepdims:
+        out = np.squeeze(out, axis=axis)
+    return out, soft
+
+
+def _vjp_logsumexp(g, ans, soft, a, axis, keepdims):
+    grad = g if keepdims else np.expand_dims(g, axis)
+    return grad * soft
+
+
+# the softmax weights are residuals: recomputing them from ``ans`` would
+# change float rounding (exp(a - out) != shifted/total bit-for-bit)
+_logsumexp = primitive("logsumexp", residuals=True)(_logsumexp_fwd)
+defvjp("logsumexp", _vjp_logsumexp)
+
+
+# --------------------------------------------------------------------- #
+# primitive registrations: linear algebra & shape ops
+# --------------------------------------------------------------------- #
+
+_matmul = primitive("matmul")(lambda a, b: a @ b)
+
+
+def _vjp_matmul_a(g, ans, a, b):
+    if b.ndim == 1:
+        return np.outer(g, b) if a.ndim == 2 else g * b
+    return g @ b.T
+
+
+def _vjp_matmul_b(g, ans, a, b):
+    if a.ndim == 1:
+        return np.outer(a, g) if b.ndim == 2 else g * a
+    return a.T @ g
+
+
+defvjp("matmul", _vjp_matmul_a, _vjp_matmul_b)
+
+_transpose = primitive("transpose")(lambda a: a.T)
+defvjp("transpose", lambda g, ans, a: g.T)
+
+_reshape = primitive("reshape")(lambda a, shape: a.reshape(shape))
+defvjp("reshape", lambda g, ans, a, shape: g.reshape(a.shape))
+
+_take_rows = primitive("take_rows")(lambda a, idx: a[idx])
+
+
+def _vjp_take_rows(g, ans, a, idx):
+    if a.ndim == 2 and idx.ndim == 1 and idx.size:
+        n = idx.shape[0]
+        num_rows, dim = a.shape
+        dtype = a.dtype
+        g = np.ascontiguousarray(g, dtype=dtype)
+        ones = np.ones(n, dtype=dtype)
+        indptr = np.arange(n + 1, dtype=idx.dtype)
+        if _sptools is not None:
+            # grad += S^T g; S^T is the (num_rows, n) one-hot selection
+            # in CSC form, whose index arrays are exactly (indptr, idx)
+            grad = np.zeros((num_rows, dim), dtype=dtype)
+            _sptools.csc_matvecs(num_rows, n, dim, indptr, idx,
+                                 ones, g.ravel(), grad.ravel())
+        else:
+            select = sp.csr_matrix((ones, idx, indptr),
+                                   shape=(n, num_rows))
+            grad = select.T @ g
+    else:
+        grad = np.zeros_like(a)
+        np.add.at(grad, idx, g)
+    return grad
+
+
+defvjp("take_rows", _vjp_take_rows)
+
+_getitem = primitive("getitem")(lambda a, key: a[key])
+
+
+def _vjp_getitem(g, ans, a, key):
+    grad = np.zeros_like(a)
+    np.add.at(grad, key, g)
+    return grad
+
+
+defvjp("getitem", _vjp_getitem)
+
+
+# --------------------------------------------------------------------- #
+# multi-tensor ops
+# --------------------------------------------------------------------- #
+
+_concat = primitive("concat")(
+    lambda parts, axis: np.concatenate(parts, axis=axis))
+
+
+def _vjp_concat(g, ans, parts, axis):
+    sizes = [part.shape[axis] for part in parts]
+    offsets = np.cumsum([0] + sizes)
+    grads = []
+    for start, stop in zip(offsets[:-1], offsets[1:]):
+        sl = [slice(None)] * g.ndim
+        sl[axis] = slice(start, stop)
+        grads.append(g[tuple(sl)])  # views: no copy until accumulation
+    return grads
+
+
+defvjp("concat", _vjp_concat)
 
 
 def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
     """Concatenate tensors along ``axis``; backward splits the gradient."""
-    tensors = [as_tensor(t) for t in tensors]
-    sizes = [t.shape[axis] for t in tensors]
-    offsets = np.cumsum([0] + sizes)
+    return _concat([as_tensor(t) for t in tensors], axis=axis)
 
-    def backward(g: np.ndarray) -> None:
-        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
-            if tensor.requires_grad:
-                sl = [slice(None)] * g.ndim
-                sl[axis] = slice(start, stop)
-                tensor._accumulate(g[tuple(sl)])
 
-    data = np.concatenate([t.data for t in tensors], axis=axis)
-    return Tensor._make(data, tuple(tensors), backward, "concat")
+_stack = primitive("stack")(lambda parts, axis: np.stack(parts, axis=axis))
+
+
+def _vjp_stack(g, ans, parts, axis):
+    return [np.take(g, i, axis=axis) for i in range(len(parts))]
+
+
+defvjp("stack", _vjp_stack)
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new axis."""
-    tensors = [as_tensor(t) for t in tensors]
+    return _stack([as_tensor(t) for t in tensors], axis=axis)
 
-    def backward(g: np.ndarray) -> None:
-        for i, tensor in enumerate(tensors):
-            if tensor.requires_grad:
-                tensor._accumulate(np.take(g, i, axis=axis))
 
-    data = np.stack([t.data for t in tensors], axis=axis)
-    return Tensor._make(data, tuple(tensors), backward, "stack")
+_where = primitive("where")(lambda cond, a, b: np.where(cond, a, b))
+defvjp("where", None,
+       lambda g, ans, cond, a, b: unbroadcast(g * cond, a.shape),
+       lambda g, ans, cond, a, b: unbroadcast(g * (~cond), b.shape))
 
 
 def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
     """Elementwise select; ``condition`` is a constant boolean array."""
-    a, b = as_tensor(a), as_tensor(b)
-    cond = np.asarray(condition, dtype=bool)
-
-    def backward(g: np.ndarray) -> None:
-        if a.requires_grad:
-            a._accumulate(unbroadcast(g * cond, a.shape))
-        if b.requires_grad:
-            b._accumulate(unbroadcast(g * (~cond), b.shape))
-
-    return Tensor._make(np.where(cond, a.data, b.data), (a, b), backward,
-                        "where")
+    return _where(np.asarray(condition, dtype=bool), as_tensor(a),
+                  as_tensor(b))
 
 
 def zeros(*shape: int, requires_grad: bool = False) -> Tensor:
@@ -727,3 +734,6 @@ def ones(*shape: int, requires_grad: bool = False) -> Tensor:
     """All-ones tensor of the given shape (default dtype)."""
     return Tensor(np.ones(shape, dtype=_default_dtype),
                   requires_grad=requires_grad)
+
+
+_prims.register_tensor_type(Tensor)

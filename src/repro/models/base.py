@@ -60,7 +60,8 @@ from typing import Optional, Tuple
 import numpy as np
 import scipy.sparse as sp
 
-from ..autograd import (Embedding, Module, Tensor, no_grad, spmm,
+from ..autograd import (Embedding, Module, Tensor, fused_bpr_loss,
+                        fused_kernels_enabled, light_propagate, no_grad, spmm,
                         functional as F)
 from ..data import InteractionDataset
 from ..graph import symmetric_normalize
@@ -180,10 +181,19 @@ class Recommender(Module):
     def bpr_loss(self, user_final: Tensor, item_final: Tensor,
                  users: np.ndarray, pos: np.ndarray,
                  neg: np.ndarray) -> Tensor:
-        """Pairwise ranking loss (paper Eq 15) on propagated embeddings."""
+        """Pairwise ranking loss (paper Eq 15) on propagated embeddings.
+
+        Routes the whole triplet pipeline through the one-node
+        :func:`repro.autograd.fused.fused_bpr_loss` kernel when its
+        ``fused`` backend is selected (spec-visible via
+        ``TrainConfig.autograd_backend``); the composed score graph
+        stays the bit-reproducible default.
+        """
         u = user_final.take_rows(users)
         vp = item_final.take_rows(pos)
         vn = item_final.take_rows(neg)
+        if fused_kernels_enabled("fused_bpr_loss"):
+            return fused_bpr_loss(u, vp, vn)
         pos_scores = (u * vp).sum(axis=1)
         neg_scores = (u * vn).sum(axis=1)
         return F.bpr_loss(pos_scores, neg_scores)
@@ -249,7 +259,14 @@ def light_gcn_propagate(norm_adj: sp.csr_matrix, ego: Tensor,
     ``E_final = mean(E^0, A E^0, A^2 E^0, ..., A^L E^0)`` with no transforms
     or nonlinearity — the workhorse encoder for LightGCN, SGL, NCL, HCCF
     and the "w/o Mixhop" GraphAug ablation.
+
+    When the ``fused`` backend is selected for ``light_propagate`` the
+    loop collapses into that single propagate-and-pool tape node
+    (bit-identical forward; gradient accumulation order differs, which
+    is why it is opt-in).
     """
+    if fused_kernels_enabled("light_propagate"):
+        return light_propagate(norm_adj, ego, num_layers)
     layers = [ego]
     current = ego
     for _ in range(num_layers):

@@ -67,6 +67,18 @@ class TrainConfig:
     snapshot_path: Optional[str] = None       # write a serving snapshot
                                               # (repro.serve) of the final
                                               # parameters here after fit
+    autograd_backend: Optional[str] = None    # primitive-implementation
+                                              # backend selected for the
+                                              # whole fit (e.g. "fused"
+                                              # routes BPR loss + LightGCN
+                                              # propagation through the
+                                              # one-node fused kernels).
+                                              # None = the bit-reproducible
+                                              # reference tape.  Spec-
+                                              # visible on purpose: fused
+                                              # gradients differ from the
+                                              # composed graph by float
+                                              # accumulation order
     early_stop_patience: Optional[int] = None  # evals w/o improvement
     early_stop_metric: str = "recall@20"
     verbose: bool = False

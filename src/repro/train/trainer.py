@@ -16,7 +16,8 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from .config import TrainConfig
-from ..autograd import Adam, ExponentialLR, spmm_profile
+from ..autograd import (Adam, ExponentialLR, primitive_profile,
+                        spmm_profile, use_backend)
 from ..data import BPRSampler, InteractionDataset
 from ..eval import evaluate_model
 from ..utils import Timer
@@ -41,10 +42,18 @@ class FitResult:
     best_epoch: int
     train_seconds: float
     sampler_seconds: float = 0.0          # wall-clock inside BPR sampling
-    spmm_seconds: float = 0.0             # wall-clock inside sparse matmuls
-                                          # (0 unless spmm profiling is on)
+    spmm_seconds: float = 0.0             # wall-clock inside the spmm
+                                          # primitive family, derived from
+                                          # primitive_seconds (0 unless
+                                          # profiling is on); kept as its
+                                          # own field for bench-schema
+                                          # compatibility
     eval_seconds: float = 0.0             # wall-clock inside chunked
                                           # ranking evaluation
+    primitive_seconds: Dict[str, float] = field(default_factory=dict)
+                                          # per-primitive fwd+bwd wall-
+                                          # clock during this fit (empty
+                                          # unless profiling is on)
 
     def metric_curve(self, key: str) -> List[float]:
         """Per-evaluation series of one metric (for convergence plots)."""
@@ -99,6 +108,18 @@ class Trainer:
 
     # ------------------------------------------------------------------ #
     def fit(self) -> FitResult:
+        """Train to completion under the configured autograd backend.
+
+        ``TrainConfig.autograd_backend`` (when set) scopes the primitive
+        backend selection — e.g. the fused hot-path kernels — to this
+        fit and is restored afterwards.
+        """
+        if self.config.autograd_backend:
+            with use_backend(self.config.autograd_backend):
+                return self._fit()
+        return self._fit()
+
+    def _fit(self) -> FitResult:
         cfg = self.config
         num_batches = cfg.batches_per_epoch
         if num_batches is None:
@@ -110,6 +131,7 @@ class Trainer:
         sampler_timer = Timer()
         eval_timer = Timer()
         spmm_seconds_at_start = spmm_profile()["seconds"]
+        profile_at_start = primitive_profile()
         best_value = -np.inf
         best_metrics: Dict[str, float] = {}
         best_epoch = -1
@@ -180,12 +202,19 @@ class Trainer:
             # end-of-fit serving snapshot of the final parameters
             from .callbacks import ServingSnapshot
             ServingSnapshot(cfg.snapshot_path)(self.model, self.dataset)
+        primitive_seconds = {}
+        for name, entry in primitive_profile().items():
+            delta = entry["seconds"] - profile_at_start.get(
+                name, {}).get("seconds", 0.0)
+            if delta > 0.0:
+                primitive_seconds[name] = delta
         return FitResult(history=history, best_metrics=best_metrics,
                          best_epoch=best_epoch, train_seconds=timer.total,
                          sampler_seconds=sampler_timer.total,
                          spmm_seconds=(spmm_profile()["seconds"]
                                        - spmm_seconds_at_start),
-                         eval_seconds=eval_timer.total)
+                         eval_seconds=eval_timer.total,
+                         primitive_seconds=primitive_seconds)
 
 
 def fit_model(model, dataset: InteractionDataset,

@@ -1,11 +1,13 @@
-"""Tier-1 doctest lane for the ``repro.api`` facade.
+"""Tier-1 doctest lane for the ``repro.api`` facade and autograd registry.
 
-Every public symbol of the facade carries a doctested example (the
-satellite contract of the sweep PR); this module executes them all as
-part of the fast suite, so the examples in the docstrings can never rot.
-The same examples run standalone via::
+Every public symbol of the facade — and of the autograd primitive/VJP
+registry surface — carries a doctested example; this module executes
+them all as part of the fast suite, so the examples in the docstrings
+can never rot.  The same examples run standalone via::
 
     PYTHONPATH=src python -m pytest --doctest-modules src/repro/api
+    PYTHONPATH=src python -m pytest --doctest-modules \\
+        src/repro/autograd/primitives.py src/repro/autograd/fused.py
 """
 
 import doctest
@@ -14,7 +16,8 @@ import importlib
 import pytest
 
 API_MODULES = ("repro.api", "repro.api.spec", "repro.api.experiment",
-               "repro.api.rundir", "repro.api.sweep")
+               "repro.api.rundir", "repro.api.sweep",
+               "repro.autograd.primitives", "repro.autograd.fused")
 
 #: facade symbols that must ship a doctested example, per the docs
 #: contract (module name -> attribute)
@@ -26,6 +29,11 @@ REQUIRED_EXAMPLES = (
     ("repro.api.sweep", "SweepRunner"),
     ("repro.api.sweep", "run_sweep"),
     ("repro.api.sweep", "expand_grid"),
+    ("repro.autograd.primitives", "primitive"),
+    ("repro.autograd.primitives", "defvjp"),
+    ("repro.autograd.primitives", "use_backend"),
+    ("repro.autograd.fused", "fused_bpr_loss"),
+    ("repro.autograd.fused", "light_propagate"),
 )
 
 OPTION_FLAGS = doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE

@@ -1,0 +1,65 @@
+"""Static lint: the autograd core stays closed to ad-hoc gradients.
+
+The registry refactor's contract is that gradients exist in exactly one
+place — primitive VJPs registered inside ``repro/autograd/``.  This AST
+walk over every other source module fails the build if someone
+reintroduces a hand-rolled ``backward`` closure or reaches into the
+tape's internals (``_make``, the pre-registry constructor, or the
+``_node``/``_backward`` slots), instead of registering a primitive.
+"""
+
+import ast
+import pathlib
+
+SRC_ROOT = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+AUTOGRAD_DIR = SRC_ROOT / "autograd"
+
+#: attribute names that belong to the tape's private machinery
+FORBIDDEN_ATTRIBUTES = {"_make", "_node", "_backward"}
+
+
+def _modules_outside_autograd():
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        if AUTOGRAD_DIR not in path.parents:
+            yield path
+
+
+def _violations(path: pathlib.Path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    found = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                and node.name == "backward":
+            found.append((node.lineno,
+                          "defines a `backward` function/closure"))
+        elif isinstance(node, ast.Lambda):
+            continue
+        elif isinstance(node, ast.Attribute) \
+                and node.attr in FORBIDDEN_ATTRIBUTES:
+            found.append((node.lineno,
+                          f"touches tape internal `.{node.attr}`"))
+    return found
+
+
+def test_no_ad_hoc_gradients_outside_autograd():
+    offenders = []
+    for path in _modules_outside_autograd():
+        for lineno, why in _violations(path):
+            rel = path.relative_to(SRC_ROOT.parent)
+            offenders.append(f"{rel}:{lineno}: {why}")
+    assert not offenders, (
+        "ad-hoc gradient code outside repro/autograd/ — register a "
+        "primitive with defvjp() instead:\n" + "\n".join(offenders))
+
+
+def test_lint_actually_detects_violations(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def op(x):\n"
+        "    def backward(g):\n"
+        "        return g\n"
+        "    return x._make(x.data, (x,), backward, 'op')\n")
+    found = _violations(bad)
+    assert len(found) == 2
+    assert any("backward" in why for _, why in found)
+    assert any("_make" in why for _, why in found)
