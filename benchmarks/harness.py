@@ -253,15 +253,17 @@ def check_hotpath_trend(records: Optional[list] = None,
     perf regression fails the bench instead of silently rolling into a
     worse committed baseline.
 
-    The serving and sweep tiers are gated through ``extras`` the same
-    way: when both this session and the committed artifact carry the
-    entry, its throughput metric (higher is better) must not fall below
-    the committed number by more than ``tolerance``x —
-    ``serving_microbenchmark.users_per_second_batched`` for the serving
-    tier and ``sweep_microbenchmark.cells_per_second_sequential`` for
-    the sweep engine (the sequential number is the stable single-core
-    floor; the parallel speedup depends on the machine's core count and
-    is recorded but not gated).
+    The serving, sweep and training-scheduler tiers are gated through
+    ``extras`` the same way: when both this session and the committed
+    artifact carry the entry, its throughput metric (higher is better)
+    must not fall below the committed number by more than ``tolerance``x
+    — ``serving_microbenchmark.users_per_second_batched`` for the
+    serving tier, ``sweep_microbenchmark.cells_per_second_sequential``
+    for the sweep engine and
+    ``parallel_train_microbenchmark.stale_epochs_per_second`` for the
+    amortized training schedule (the in-process stale number is the
+    stable single-core floor; worker speedups depend on the machine's
+    core count and are recorded but not gated).
     """
     if tolerance is None:
         tolerance = TREND_TOLERANCE
@@ -300,6 +302,8 @@ def check_hotpath_trend(records: Optional[list] = None,
     gated_extras = (
         ("serving", "serving_microbenchmark", "users_per_second_batched"),
         ("sweep", "sweep_microbenchmark", "cells_per_second_sequential"),
+        ("parallel_train", "parallel_train_microbenchmark",
+         "stale_epochs_per_second"),
     )
     for label, entry, key in gated_extras:
         now_entry = (extras or {}).get(entry)

@@ -1,0 +1,77 @@
+"""Multicore training walkthrough: amortized propagation + batch workers.
+
+Graph recommenders spend most of every batch recomputing the multi-layer
+``propagate()`` forward and backward.  The training scheduler
+(:mod:`repro.train.parallel`) amortizes that cost: with
+``TrainConfig.propagate_every=K`` one live propagation is shared by K
+batches (the K-1 "stale" batches train BPR + L2 on frozen tables), and
+``TrainConfig.train_workers=N`` fans the stale batches out over N
+shared-memory worker processes.  The scheduler's invariant — certified
+here the same way the sweep engine certifies its own — is that the
+worker count never changes the result: gradients are applied in batch
+order, so N workers are bit-identical to the in-process schedule.
+
+Run it::
+
+    PYTHONPATH=src python examples/parallel_training.py
+"""
+
+import numpy as np
+
+from repro.data.loaders import resolve_dataset
+from repro.models import build_model
+from repro.train import ModelConfig, TrainConfig, fit_model
+
+
+def _fit(model_name, dataset, model_cfg, seed, **train_knobs):
+    model = build_model(model_name, dataset, model_cfg, seed=seed)
+    result = fit_model(model, dataset, TrainConfig(**train_knobs),
+                       seed=seed)
+    return result, model.user_emb.weight.data.copy(), \
+        model.item_emb.weight.data.copy()
+
+
+def main(dataset="gowalla", model="lightgcn", epochs=40, embedding_dim=32,
+         batch_size=512, propagate_every=8, workers=2, seed=0):
+    """Exact vs K-stale vs K-stale-with-workers, parity checked."""
+    data = resolve_dataset(dataset, seed=seed) if isinstance(dataset, str) \
+        else dataset
+    model_cfg = ModelConfig(embedding_dim=embedding_dim)
+    knobs = dict(epochs=epochs, batch_size=batch_size,
+                 eval_every=max(1, epochs // 2))
+
+    print(f"{model}/{dataset}: {epochs} epochs, "
+          f"propagate_every={propagate_every}, {workers} worker(s)")
+    exact, _, _ = _fit(model, data, model_cfg, seed, **knobs)
+    stale, su, si = _fit(model, data, model_cfg, seed, **knobs,
+                         propagate_every=propagate_every)
+    pooled, pu, pi = _fit(model, data, model_cfg, seed, **knobs,
+                          propagate_every=propagate_every,
+                          train_workers=workers)
+
+    # the scheduler invariant: worker fan-out never changes the result
+    assert np.array_equal(su, pu) and np.array_equal(si, pi)
+    assert [r.loss for r in stale.history] == \
+        [r.loss for r in pooled.history]
+    print(f"train_workers={workers} is bit-identical to the in-process "
+          f"schedule (embeddings and every epoch loss)")
+
+    rows = (("exact (K=1)", exact),
+            (f"stale (K={propagate_every})", stale),
+            (f"stale + {workers} workers", pooled))
+    print(f"\n{'schedule':<22} {'train s':>8} {'epochs/sec':>11} "
+          f"{'recall@20':>10}")
+    for label, result in rows:
+        eps = len(result.history) / max(result.train_seconds, 1e-12)
+        print(f"{label:<22} {result.train_seconds:>8.3f} {eps:>11.1f} "
+              f"{result.best_metrics.get('recall@20', float('nan')):>10.4f}")
+    speedup = exact.train_seconds / max(stale.train_seconds, 1e-12)
+    print(f"\namortizing {propagate_every - 1}/{propagate_every} of the "
+          f"propagations: {speedup:.2f}x faster training "
+          f"(staleness is spec-visible; the quality trade is measured in "
+          f"benchmarks/BENCH_hotpath.json)")
+    return exact, stale, pooled
+
+
+if __name__ == "__main__":
+    main()

@@ -199,13 +199,34 @@ def run_dir_is_complete(run_dir: str, spec=None) -> bool:
 def _strip_wall_time(event: Dict) -> Dict:
     return {k: v for k, v in event.items() if k != "wall_time"}
 
+#: train_config keys that choose *how* a fit is scheduled, never *what*
+#: it computes — the ordered worker pool is bit-identical to sequential
+#: by construction, so the fingerprint treats ``train_workers`` exactly
+#: like the sweep's ``workers`` argument (which is not in the spec at
+#: all).  ``propagate_every`` and ``async_updates`` DO change the math
+#: and stay in the hash.
+_SCHEDULE_ONLY_TRAIN_KEYS = ("train_workers",)
+
+
+def _schedule_free_spec(spec: Dict) -> Dict:
+    train = spec.get("train_config")
+    if not isinstance(train, dict) or not any(
+            k in train for k in _SCHEDULE_ONLY_TRAIN_KEYS):
+        return spec
+    spec = dict(spec)
+    spec["train_config"] = {k: v for k, v in train.items()
+                            if k not in _SCHEDULE_ONLY_TRAIN_KEYS}
+    return spec
+
 
 def run_dir_fingerprint(run_dir: str) -> str:
     """SHA-256 over the *deterministic* content of a run directory.
 
     Two runs of the same spec under the same toolchain produce the same
-    fingerprint no matter how they were scheduled — sequentially, or on
-    any worker of a process-parallel sweep.  Covered: the spec echo, the
+    fingerprint no matter how they were scheduled — sequentially, on any
+    worker of a process-parallel sweep, or with any ``train_workers``
+    batch-pool size (a schedule-only knob, normalized out of the spec
+    echo before hashing).  Covered: the spec echo, the
     status, every ``metrics.jsonl`` event, ``probes.json``,
     ``history.csv`` and the set of timing keys.  Excluded (the only
     nondeterministic fields a run records): wall-clock values —
@@ -219,7 +240,7 @@ def run_dir_fingerprint(run_dir: str) -> str:
         digest.update(json.dumps(payload, sort_keys=True).encode())
 
     payload = read_run_dir(run_dir)
-    feed("spec", payload["spec"])
+    feed("spec", _schedule_free_spec(payload["spec"]))
     feed("probes", payload["probes"])
     status = read_status(run_dir)
     feed("status", (status or {}).get("status"))

@@ -63,6 +63,8 @@ from .experiment import Experiment, RunResult, run_cell
 from .rundir import (STATUS_COMPLETED, STATUS_FAILED, read_run_dir,
                      read_status, run_dir_is_complete, write_failed_run_dir)
 from .spec import ExperimentSpec
+from ..utils.threads import (apply_blas_thread_limit, blas_thread_budget,
+                             blas_thread_limit)
 
 #: the sweep-level manifest written into the base directory
 SWEEP_MANIFEST = "sweep.json"
@@ -230,11 +232,15 @@ def read_sweep_manifest(sweep_dir: str) -> Dict:
 _WORKER_DATASET_CACHE: Optional[Dict] = None
 
 
-def _worker_init() -> None:
+def _worker_init(blas_threads: int = 0) -> None:
     """Pool initializer: one dataset cache per worker process, so every
-    ``(dataset, seed, options)`` cell is loaded once per worker."""
+    ``(dataset, seed, options)`` cell is loaded once per worker; also
+    pins the worker's BLAS pool to its share of the machine
+    (:mod:`repro.utils.threads`) so N cells don't oversubscribe cores."""
     global _WORKER_DATASET_CACHE
     _WORKER_DATASET_CACHE = {}
+    if blas_threads:
+        apply_blas_thread_limit(blas_threads)
 
 
 def _run_cell_task(spec_dict: Dict, run_dir: Optional[str],
@@ -405,9 +411,12 @@ class SweepRunner:
             return
         context = multiprocessing.get_context(MP_START_METHOD)
         max_workers = min(self.workers, len(pending))
-        with ProcessPoolExecutor(max_workers=max_workers,
-                                 mp_context=context,
-                                 initializer=_worker_init) as pool:
+        blas_threads = blas_thread_budget(max_workers)
+        with blas_thread_limit(blas_threads), \
+                ProcessPoolExecutor(max_workers=max_workers,
+                                    mp_context=context,
+                                    initializer=_worker_init,
+                                    initargs=(blas_threads,)) as pool:
             futures = {i: pool.submit(_run_cell_task,
                                       self.cells[i][1].to_dict(),
                                       run_dirs[i], self.verbose)

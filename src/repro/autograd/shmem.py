@@ -1,0 +1,118 @@
+"""Shared-memory ndarray buffers for cross-process gradient exchange.
+
+The parallel training scheduler (:mod:`repro.train.parallel`) moves two
+kinds of float tables between the parent and its batch workers:
+
+* the frozen propagated embedding tables each stale batch reads, and
+* per-worker gradient result buffers the parent applies from.
+
+Both are plain 2-D/3-D float arrays that must be *views over one
+allocation* — copying a ``(num_items, d)`` table per batch through a
+pipe would erase the parallel win.  :class:`SharedNDArray` wraps
+``multiprocessing.shared_memory.SharedMemory`` with the two ergonomics
+this repo needs:
+
+* a picklable :meth:`spec` (name, shape, dtype) that crosses the spawn
+  boundary so workers can :meth:`attach`;
+* correct resource-tracker behavior for the parent-owns / workers-borrow
+  layout: only the *owner* (creating) process unlinks the segment;
+  borrowers just close their mapping.  multiprocessing-spawned children
+  share the parent's tracker process, so their attach-time registration
+  is a set no-op and the owner's ``unlink`` clears the single entry — and
+  if the parent crashes, the tracker reaps the segment instead of
+  leaking /dev/shm.
+
+Everything here is process-local bookkeeping around one mmap; no
+autograd semantics.  It lives in :mod:`repro.autograd` because the
+buffers it carries are gradients and parameter tables, and because the
+tape's consumers import their array plumbing from here.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class SharedNDArray:
+    """A numpy array backed by a named ``SharedMemory`` segment.
+
+    Create in the owning process with :meth:`create` (optionally copying
+    an existing array in), ship ``spec()`` to another process, and
+    rebuild a view there with :meth:`attach`.  The owner calls
+    :meth:`close` (which unlinks); borrowers' :meth:`close` only drops
+    their mapping.
+
+    >>> owner = SharedNDArray.create((2, 3), np.float64)
+    >>> owner.array[:] = 7.0
+    >>> view = SharedNDArray.attach(owner.spec())
+    >>> float(view.array.sum())
+    42.0
+    >>> view.close(); owner.close()
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 shape: Tuple[int, ...], dtype: np.dtype, owner: bool):
+        self._shm: Optional[shared_memory.SharedMemory] = shm
+        self.shape = tuple(shape)
+        self.dtype = np.dtype(dtype)
+        self.owner = owner
+        self.array = np.ndarray(self.shape, dtype=self.dtype,
+                                buffer=shm.buf)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(cls, shape: Tuple[int, ...], dtype,
+               copy_from: Optional[np.ndarray] = None) -> "SharedNDArray":
+        """Allocate a new zeroed segment (optionally copying a table in)."""
+        dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape)) * dtype.itemsize)
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        out = cls(shm, shape, dtype, owner=True)
+        if copy_from is not None:
+            out.array[...] = copy_from
+        else:
+            out.array.fill(0)
+        return out
+
+    @classmethod
+    def attach(cls, spec: Tuple[str, Tuple[int, ...], str]
+               ) -> "SharedNDArray":
+        """Map an existing segment from its :meth:`spec` (borrower side)."""
+        name, shape, dtype = spec
+        shm = shared_memory.SharedMemory(name=name)
+        # The open re-registered the segment with the resource tracker.
+        # Our borrowers are multiprocessing-spawned children, which
+        # *share* the parent's tracker process — registration is a set,
+        # so this is a harmless no-op, and the one entry is removed by
+        # the owner's ``unlink``.  Deliberately no ``unregister`` here:
+        # with a shared tracker it would delete the owner's entry and
+        # make the owner's unlink a double-remove.
+        return cls(shm, shape, dtype, owner=False)
+
+    # ------------------------------------------------------------------ #
+    def spec(self) -> Tuple[str, Tuple[int, ...], str]:
+        """Picklable (name, shape, dtype-string) for :meth:`attach`."""
+        assert self._shm is not None, "spec() after close()"
+        return (self._shm.name, self.shape, self.dtype.str)
+
+    def close(self) -> None:
+        """Drop this mapping; the owner also destroys the segment."""
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        self.array = None
+        shm.close()
+        if self.owner:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double close
+                pass
+
+    def __del__(self):  # best-effort: never leak /dev/shm segments
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass

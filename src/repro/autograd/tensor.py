@@ -499,11 +499,15 @@ defvjp("tanh", lambda g, ans, a: g * (1.0 - ans ** 2))
 _relu = primitive("relu")(lambda a: a * (a > 0))
 defvjp("relu", lambda g, ans, a: g * (a > 0))
 
+# dtype-preserving: select between `a` and the scaled branch instead of
+# multiplying by a float64 ``np.where(..., 1.0, slope)`` mask, which would
+# silently promote a float32 activation (and its gradient) to float64.
+# Bit-identical to the masked form in float64 (x * 1.0 == x).
 _leaky_relu = primitive("leaky_relu")(
-    lambda a, negative_slope: a * np.where(a > 0, 1.0, negative_slope))
+    lambda a, negative_slope: np.where(a > 0, a, a * negative_slope))
 defvjp("leaky_relu",
        lambda g, ans, a, negative_slope:
-       g * np.where(a > 0, 1.0, negative_slope))
+       np.where(a > 0, g, g * negative_slope))
 
 # log(1 + e^x) computed stably
 _softplus = primitive("softplus")(lambda a: np.logaddexp(0.0, a))
@@ -632,27 +636,41 @@ defvjp("reshape", lambda g, ans, a, shape: g.reshape(a.shape))
 _take_rows = primitive("take_rows")(lambda a, idx: a[idx])
 
 
+def scatter_rows(g: np.ndarray, idx: np.ndarray, num_rows: int
+                 ) -> np.ndarray:
+    """Dense segment-sum scatter: rows of ``g`` summed into ``idx`` slots.
+
+    This is the ``take_rows`` VJP as a public export — the exact
+    (dtype-preserving, C-kernel) scatter the tape itself uses to push a
+    row-batch gradient back into an embedding table.  External gradient
+    appliers (the parallel training scheduler applying worker-computed
+    per-row grads) route through it so their updates are bit-identical
+    to a ``backward()`` through ``take_rows``.
+    """
+    n, dim = g.shape
+    dtype = g.dtype
+    g = np.ascontiguousarray(g)
+    ones = np.ones(n, dtype=dtype)
+    indptr = np.arange(n + 1, dtype=idx.dtype)
+    if _sptools is not None:
+        # grad += S^T g; S^T is the (num_rows, n) one-hot selection
+        # in CSC form, whose index arrays are exactly (indptr, idx)
+        grad = np.zeros((num_rows, dim), dtype=dtype)
+        _sptools.csc_matvecs(num_rows, n, dim, indptr, idx,
+                             ones, g.ravel(), grad.ravel())
+    else:
+        select = sp.csr_matrix((ones, idx, indptr),
+                               shape=(n, num_rows))
+        grad = select.T @ g
+    return grad
+
+
 def _vjp_take_rows(g, ans, a, idx):
     if a.ndim == 2 and idx.ndim == 1 and idx.size:
-        n = idx.shape[0]
-        num_rows, dim = a.shape
-        dtype = a.dtype
-        g = np.ascontiguousarray(g, dtype=dtype)
-        ones = np.ones(n, dtype=dtype)
-        indptr = np.arange(n + 1, dtype=idx.dtype)
-        if _sptools is not None:
-            # grad += S^T g; S^T is the (num_rows, n) one-hot selection
-            # in CSC form, whose index arrays are exactly (indptr, idx)
-            grad = np.zeros((num_rows, dim), dtype=dtype)
-            _sptools.csc_matvecs(num_rows, n, dim, indptr, idx,
-                                 ones, g.ravel(), grad.ravel())
-        else:
-            select = sp.csr_matrix((ones, idx, indptr),
-                                   shape=(n, num_rows))
-            grad = select.T @ g
-    else:
-        grad = np.zeros_like(a)
-        np.add.at(grad, idx, g)
+        return scatter_rows(np.ascontiguousarray(g, dtype=a.dtype), idx,
+                            a.shape[0])
+    grad = np.zeros_like(a)
+    np.add.at(grad, idx, g)
     return grad
 
 

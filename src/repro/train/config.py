@@ -79,6 +79,45 @@ class TrainConfig:
                                               # gradients differ from the
                                               # composed graph by float
                                               # accumulation order
+    propagate_every: int = 1                  # K, the amortized-propagation
+                                              # period (repro.train.parallel):
+                                              # 1 (default) = today's exact
+                                              # loop, bit-identical; K>1
+                                              # re-propagates on every K-th
+                                              # batch and trains the K-1
+                                              # batches in between against
+                                              # the frozen propagated tables
+                                              # (stale-embedding schedule).
+                                              # Spec-visible on purpose: the
+                                              # staleness changes gradients;
+                                              # its quality delta is measured
+                                              # per model in BENCH_hotpath
+                                              # (staleness_quality extras).
+                                              # Requires the inherited
+                                              # embedding-dot score_users
+                                              # (GNN zoo); custom-scorer
+                                              # models raise
+    train_workers: Optional[int] = None       # N shared-memory batch workers
+                                              # computing the stale-window
+                                              # gradients (requires
+                                              # propagate_every > 1).  None/0
+                                              # = in-process.  The parent
+                                              # samples every batch and
+                                              # applies gradients in batch
+                                              # order, so any N is bit-
+                                              # identical to sequential
+                                              # (run_dir_fingerprint-
+                                              # certified) unless
+                                              # async_updates opts out
+    async_updates: bool = False               # opt-in lock-free mode: apply
+                                              # window gradients in worker
+                                              # completion order instead of
+                                              # batch order (hogwild-style).
+                                              # Breaks bit-reproducibility —
+                                              # which is why it is a spec-
+                                              # visible knob and never a
+                                              # default; requires
+                                              # train_workers
     early_stop_patience: Optional[int] = None  # evals w/o improvement
     early_stop_metric: str = "recall@20"
     verbose: bool = False

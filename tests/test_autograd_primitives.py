@@ -180,12 +180,7 @@ class TestComboSweep:
         fn(*ref).backward()
         low = _build_inputs(specs, np.float32)
         out = fn(*low)
-        if name != "leaky_relu":
-            # leaky_relu's slope table (np.where(mask, 1.0, slope)) is
-            # float64 and promotes the op output — long-standing behavior
-            # the committed golden fingerprints depend on, so it is pinned,
-            # not fixed; every other primitive must preserve float32
-            assert out.data.dtype == np.float32  # no silent promotion
+        assert out.data.dtype == np.float32  # no silent promotion
         out.backward()
         for t64, t32 in zip(ref, low):
             assert t32.grad.dtype == np.float32

@@ -79,6 +79,15 @@ def test_sweep(capsys):
     assert "nothing re-run" in out
 
 
+def test_parallel_training(capsys):
+    _load_example("parallel_training").main(
+        dataset="tiny", epochs=2, batch_size=128, propagate_every=2,
+        workers=2)
+    out = capsys.readouterr().out
+    assert "bit-identical to the in-process schedule" in out
+    assert "epochs/sec" in out
+
+
 def test_denoising_case_study(capsys):
     _load_example("denoising_case_study").main(dataset_name="tiny",
                                                epochs=2)
