@@ -21,14 +21,16 @@ from __future__ import annotations
 import os
 import traceback as _traceback
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from .rundir import (STATUS_COMPLETED, STATUS_FAILED, read_run_dir,
-                     read_status, write_failed_run_dir, write_run_dir)
+from .rundir import (SPEC_FILE, STATUS_COMPLETED, STATUS_FAILED,
+                     MetricsStreamWriter, read_run_dir, read_status,
+                     write_failed_run_dir, write_heartbeat, write_run_dir)
 from .spec import ExperimentSpec
 from ..data import InteractionDataset, resolve_dataset
+from ..obs import current_seq, events_since, span, trace_scope
 from ..train import Trainer, FitResult, CALLBACK_REGISTRY
 
 
@@ -70,6 +72,11 @@ class RunResult:
     fit: Optional[FitResult] = None
     status: str = STATUS_COMPLETED
     error: Optional[str] = None
+    #: the run's repro.obs trace events (None unless TrainConfig.trace
+    #: was on) — plain Chrome-trace dicts, so they survive the summary
+    #: wire format and let a sweep parent absorb worker spans exactly
+    #: once into its own buffer
+    trace_events: Optional[List[Dict]] = None
 
     @property
     def failed(self) -> bool:
@@ -104,7 +111,7 @@ class RunResult:
                 "best_epoch": self.best_epoch, "timing": dict(self.timing),
                 "probes": self.probes, "artifacts": dict(self.artifacts),
                 "run_dir": self.run_dir, "status": self.status,
-                "error": self.error}
+                "error": self.error, "trace_events": self.trace_events}
 
     @classmethod
     def from_summary(cls, payload: Dict) -> "RunResult":
@@ -115,7 +122,8 @@ class RunResult:
                    timing=payload["timing"], probes=payload["probes"],
                    artifacts=payload["artifacts"],
                    run_dir=payload["run_dir"], status=payload["status"],
-                   error=payload["error"])
+                   error=payload["error"],
+                   trace_events=payload.get("trace_events"))
 
 
 def _dataset_cache_key(spec: ExperimentSpec) -> tuple:
@@ -194,24 +202,81 @@ class Experiment:
     def run(self, run_dir: Optional[str] = None,
             dataset_cache: Optional[Dict] = None,
             verbose: Optional[bool] = None) -> RunResult:
-        """Train -> evaluate -> probe -> persist; returns a `RunResult`."""
+        """Train -> evaluate -> probe -> persist; returns a `RunResult`.
+
+        With ``TrainConfig.trace`` on, the whole pipeline runs under
+        ``repro.obs`` spans (with per-primitive profiling enabled so the
+        autograd counter tracks materialize), and the run's events land
+        both on the result (``RunResult.trace_events``) and — when a run
+        directory is given — as its ``trace.json`` artifact.
+
+        A run directory is written *incrementally*: the spec echo lands
+        before the fit starts, each epoch appends a crash-safe
+        ``metrics.jsonl`` row and re-stamps the ``status.json``
+        heartbeat, and the terminal write marks the run completed.
+        """
         spec = self.spec
-        dataset = self.dataset(cache=dataset_cache)
-        model = self.build_model(dataset)
         train_config = spec.resolved_train_config()
         if verbose is not None:
             train_config = train_config.with_overrides(verbose=verbose)
-        fit = Trainer(model, dataset, train_config, seed=spec.seed).fit()
-        self.model = model
+        trace_on = bool(train_config.trace)
+        trace_start = current_seq()
 
-        probes: Dict[str, object] = {}
-        if spec.probes:
-            from ..eval import PROBE_REGISTRY
-            for name, options in spec.probes.items():
-                probes[name] = PROBE_REGISTRY.get(name)(model, dataset,
-                                                        **options)
+        stream: Optional[MetricsStreamWriter] = None
+        epoch_hook = None
+        if run_dir is not None:
+            # the spec echo lands first so even a SIGKILLed run dir is
+            # diagnosable (and recognizably incomplete on resume)
+            os.makedirs(run_dir, exist_ok=True)
+            spec.save(os.path.join(run_dir, SPEC_FILE))
+            write_heartbeat(run_dir, epoch=0)
+            stream = MetricsStreamWriter(run_dir)
 
-        artifacts = self._write_artifacts(model, dataset, fit, run_dir)
+            def epoch_hook(record):
+                stream.write_event({"event": "epoch",
+                                    "epoch": record.epoch,
+                                    "loss": record.loss,
+                                    "wall_time": record.wall_time,
+                                    "metrics": record.metrics})
+                write_heartbeat(run_dir, epoch=record.epoch)
+
+        from ..autograd import (enable_primitive_profiling,
+                                primitive_profiling_enabled)
+        profiling_prev = primitive_profiling_enabled()
+        try:
+            with trace_scope(trace_on):
+                if trace_on and not profiling_prev:
+                    enable_primitive_profiling(True)
+                with span("experiment.run", model=spec.model,
+                          dataset=spec.dataset):
+                    with span("experiment.dataset", dataset=spec.dataset):
+                        dataset = self.dataset(cache=dataset_cache)
+                    with span("experiment.model", model=spec.model):
+                        model = self.build_model(dataset)
+                    fit = Trainer(model, dataset, train_config,
+                                  seed=spec.seed,
+                                  epoch_hook=epoch_hook).fit()
+                    self.model = model
+
+                    probes: Dict[str, object] = {}
+                    if spec.probes:
+                        from ..eval import PROBE_REGISTRY
+                        with span("experiment.probes"):
+                            for name, options in spec.probes.items():
+                                probes[name] = PROBE_REGISTRY.get(name)(
+                                    model, dataset, **options)
+
+                    artifacts = self._write_artifacts(model, dataset, fit,
+                                                      run_dir)
+        finally:
+            if trace_on and not profiling_prev:
+                enable_primitive_profiling(False)
+            if stream is not None:
+                stream.close()
+
+        # sliced after the scope closes so the export includes the
+        # experiment.run span itself (and any absorbed worker spans)
+        trace_events = events_since(trace_start) if trace_on else None
         timing = {"train_seconds": fit.train_seconds,
                   "sampler_seconds": fit.sampler_seconds,
                   "spmm_seconds": fit.spmm_seconds,
@@ -220,12 +285,14 @@ class Experiment:
             paths = write_run_dir(run_dir, spec, fit=fit,
                                   metrics=fit.best_metrics,
                                   best_epoch=fit.best_epoch,
-                                  timing=timing, probes=probes)
+                                  timing=timing, probes=probes,
+                                  trace_events=trace_events)
             artifacts.update(paths)
         return RunResult(spec=spec, metrics=dict(fit.best_metrics),
                          best_epoch=fit.best_epoch, timing=timing,
                          probes=probes, artifacts=artifacts,
-                         run_dir=run_dir, fit=fit)
+                         run_dir=run_dir, fit=fit,
+                         trace_events=trace_events)
 
     def _write_artifacts(self, model, dataset, fit,
                          run_dir: Optional[str]) -> Dict[str, str]:
@@ -290,8 +357,11 @@ def run_cell(spec_dict: Dict, run_dir: Optional[str] = None,
     a ``{"status": "failed", "error": ..., "traceback": ...}`` summary;
     when ``run_dir`` is set the failure is also persisted there
     (:func:`repro.api.rundir.write_failed_run_dir`), so one crashed cell
-    never takes down the sweep around it.
+    never takes down the sweep around it.  A traced cell that crashes
+    still ships the spans it recorded up to the crash in its failure
+    summary, so merged sweep traces show *where* a cell died.
     """
+    trace_start = current_seq()
     try:
         spec = ExperimentSpec.from_dict(dict(spec_dict))
     except Exception as exc:                       # noqa: BLE001 — isolate
@@ -303,11 +373,14 @@ def run_cell(spec_dict: Dict, run_dir: Optional[str] = None,
                                       verbose=verbose)
         return result.summary()
     except Exception as exc:                       # noqa: BLE001 — isolate
-        return _failed_summary(spec.to_dict(), run_dir, exc)
+        return _failed_summary(spec.to_dict(), run_dir, exc,
+                               trace_events=events_since(trace_start)
+                               or None)
 
 
 def _failed_summary(spec_payload: Dict, run_dir: Optional[str],
-                    exc: BaseException) -> Dict:
+                    exc: BaseException,
+                    trace_events: Optional[List[Dict]] = None) -> Dict:
     """The failed-cell wire format (must be called from an ``except``
     block: the active exception supplies the traceback); persists the
     failure record when a run directory was claimed."""
@@ -318,7 +391,8 @@ def _failed_summary(spec_payload: Dict, run_dir: Optional[str],
     return {"spec": spec_payload, "metrics": {}, "best_epoch": -1,
             "timing": {}, "probes": {}, "artifacts": {},
             "run_dir": run_dir, "status": STATUS_FAILED,
-            "error": error, "traceback": tb}
+            "error": error, "traceback": tb,
+            "trace_events": trace_events}
 
 
 # --------------------------------------------------------------------- #

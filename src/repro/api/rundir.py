@@ -10,13 +10,25 @@
                          # error + traceback when the cell crashed
       metrics.jsonl      # one JSON object per event: every epoch record
                          # ({"event": "epoch", ...}) and the final best
-                         # ({"event": "best", ...})
+                         # ({"event": "best", ...}); streamed crash-safe
+                         # during the fit (flush + fsync per epoch via
+                         # MetricsStreamWriter), canonicalized at the end
       timing.json        # train/sampler/spmm/eval wall-clock seconds
       environment.json   # python/numpy/scipy versions, platform,
                          # repro version, autograd default dtype
       probes.json        # probe outputs (only when probes ran)
       history.csv        # plot-ready per-epoch curve (train runs only)
+      metrics.json       # repro.obs metrics-registry snapshot (only when
+                         # any metric was recorded in this process)
+      trace.json         # Chrome-trace span export (only for runs with
+                         # TrainConfig.trace on)
       <artifacts>        # checkpoint / snapshot / ... as the spec asked
+
+While a fit is in flight, ``status.json`` reads ``{"status": "running",
+"last_heartbeat": <unix time>}`` — re-stamped every epoch
+(:func:`write_heartbeat`) so operators and the future dispatch layer can
+tell a hung cell from a slow one.  The terminal write then replaces it
+with ``completed`` / ``failed``.
 
 ``spec.json`` is the replay key: ``Experiment.from_run_dir(run_dir)``
 reconstructs the exact experiment, and re-running it with the same seed
@@ -40,7 +52,8 @@ import json
 import os
 import platform
 import sys
-from typing import Dict, Optional
+import time
+from typing import Dict, List, Optional
 
 SPEC_FILE = "spec.json"
 STATUS_FILE = "status.json"
@@ -49,10 +62,14 @@ TIMING_FILE = "timing.json"
 ENVIRONMENT_FILE = "environment.json"
 PROBES_FILE = "probes.json"
 HISTORY_FILE = "history.csv"
+METRICS_JSON_FILE = "metrics.json"
+TRACE_FILE = "trace.json"
 
 #: terminal states a ``status.json`` may record
 STATUS_COMPLETED = "completed"
 STATUS_FAILED = "failed"
+#: the in-flight state stamped by the per-epoch heartbeat
+STATUS_RUNNING = "running"
 
 
 def environment_stamp() -> Dict[str, str]:
@@ -80,12 +97,60 @@ def _write_json(path: str, payload) -> str:
     return path
 
 
+class MetricsStreamWriter:
+    """Crash-safe ``metrics.jsonl`` streaming: flush + fsync per event.
+
+    The experiment layer opens one of these at fit start and appends
+    each epoch record the moment it exists, so a worker killed mid-fit
+    (OOM, preemption, SIGKILL) leaves a run dir holding every *completed*
+    epoch — the buffered single-pass write used to drop the whole tail.
+    :func:`write_run_dir` rewrites the canonical file on success, so a
+    finished run's content (and its fingerprint) is unchanged by the
+    streaming.  Usable as a context manager; ``close`` is idempotent.
+    """
+
+    def __init__(self, run_dir: str):
+        os.makedirs(run_dir, exist_ok=True)
+        self.path = os.path.join(run_dir, METRICS_FILE)
+        self._handle = open(self.path, "w")
+
+    def write_event(self, event: Dict) -> None:
+        """Append one JSON event and force it to disk."""
+        if self._handle is None:
+            raise ValueError("MetricsStreamWriter is closed")
+        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Close the stream (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "MetricsStreamWriter":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
 def write_run_dir(run_dir: str, spec, fit=None,
                   metrics: Optional[Dict[str, float]] = None,
                   best_epoch: int = -1,
                   timing: Optional[Dict[str, float]] = None,
-                  probes: Optional[Dict] = None) -> Dict[str, str]:
-    """Write the run-directory files; returns ``{file role: path}``."""
+                  probes: Optional[Dict] = None,
+                  trace_events: Optional[List[Dict]] = None
+                  ) -> Dict[str, str]:
+    """Write the run-directory files; returns ``{file role: path}``.
+
+    ``trace_events`` (when given) lands as a Chrome-trace ``trace.json``;
+    a ``metrics.json`` snapshot of the :mod:`repro.obs` metrics registry
+    is written whenever any metric has been recorded in this process.
+    Neither artifact feeds :func:`run_dir_fingerprint` — they are
+    wall-clock observability data, not replayable results.
+    """
     os.makedirs(run_dir, exist_ok=True)
     paths = {
         "spec": spec.save(os.path.join(run_dir, SPEC_FILE)),
@@ -124,19 +189,60 @@ def write_run_dir(run_dir: str, spec, fit=None,
         history_path = os.path.join(run_dir, HISTORY_FILE)
         history_to_csv(fit, history_path)
         paths["history"] = history_path
-    paths["status"] = write_status(run_dir, STATUS_COMPLETED)
+
+    from ..obs import export_trace, metrics_snapshot, write_metrics
+    if metrics_snapshot()["metrics"]:
+        paths["obs_metrics"] = write_metrics(
+            os.path.join(run_dir, METRICS_JSON_FILE))
+    if trace_events:
+        paths["trace"] = export_trace(os.path.join(run_dir, TRACE_FILE),
+                                      trace_events)
+    paths["status"] = write_status(run_dir, STATUS_COMPLETED,
+                                   extra=_carry_heartbeat(run_dir))
     return paths
 
 
 def write_status(run_dir: str, status: str, error: Optional[str] = None,
-                 traceback: Optional[str] = None) -> str:
-    """Write ``status.json`` (the run's terminal state); returns its path."""
-    payload: Dict[str, str] = {"status": status}
+                 traceback: Optional[str] = None,
+                 extra: Optional[Dict] = None) -> str:
+    """Write ``status.json`` (the run's current state); returns its path.
+
+    ``extra`` merges additional fields (heartbeat timestamps, epoch
+    counters) into the payload; the reserved ``status`` / ``error`` /
+    ``traceback`` keys always win.
+    """
+    payload: Dict = dict(extra or {})
+    payload["status"] = status
     if error is not None:
         payload["error"] = error
     if traceback is not None:
         payload["traceback"] = traceback
     return _write_json(os.path.join(run_dir, STATUS_FILE), payload)
+
+
+def _carry_heartbeat(run_dir: str) -> Dict:
+    """Heartbeat fields of the current ``status.json``, for carrying
+    into a terminal status — a completed/failed record keeps the last
+    time (and epoch at which) the run proved liveness."""
+    status = read_status(run_dir) or {}
+    return {key: status[key] for key in ("last_heartbeat", "epoch")
+            if key in status}
+
+
+def write_heartbeat(run_dir: str, epoch: Optional[int] = None) -> str:
+    """Stamp ``status.json`` as running, with a fresh ``last_heartbeat``.
+
+    Called once per epoch by the experiment layer: a cell whose
+    heartbeat is stale is hung, one whose heartbeat is fresh is merely
+    slow.  Only the status *value* feeds :func:`run_dir_fingerprint`, so
+    the wall-clock stamp never breaks determinism comparisons — and a
+    killed run's leftover ``running`` state correctly fails
+    :func:`run_dir_is_complete`, forcing a re-run on resume.
+    """
+    extra: Dict = {"last_heartbeat": time.time()}
+    if epoch is not None:
+        extra["epoch"] = int(epoch)
+    return write_status(run_dir, STATUS_RUNNING, extra=extra)
 
 
 def read_status(run_dir: str) -> Optional[Dict[str, str]]:
@@ -169,7 +275,8 @@ def write_failed_run_dir(run_dir: str, spec, error: str,
     return {
         "spec": spec_path,
         "status": write_status(run_dir, STATUS_FAILED, error=error,
-                               traceback=traceback_text),
+                               traceback=traceback_text,
+                               extra=_carry_heartbeat(run_dir)),
     }
 
 
@@ -199,13 +306,14 @@ def run_dir_is_complete(run_dir: str, spec=None) -> bool:
 def _strip_wall_time(event: Dict) -> Dict:
     return {k: v for k, v in event.items() if k != "wall_time"}
 
-#: train_config keys that choose *how* a fit is scheduled, never *what*
-#: it computes — the ordered worker pool is bit-identical to sequential
-#: by construction, so the fingerprint treats ``train_workers`` exactly
-#: like the sweep's ``workers`` argument (which is not in the spec at
-#: all).  ``propagate_every`` and ``async_updates`` DO change the math
-#: and stay in the hash.
-_SCHEDULE_ONLY_TRAIN_KEYS = ("train_workers",)
+#: train_config keys that choose *how* a fit is scheduled or observed,
+#: never *what* it computes — the ordered worker pool is bit-identical
+#: to sequential by construction, so the fingerprint treats
+#: ``train_workers`` exactly like the sweep's ``workers`` argument
+#: (which is not in the spec at all), and ``trace`` only records spans
+#: (tested observationally inert).  ``propagate_every`` and
+#: ``async_updates`` DO change the math and stay in the hash.
+_SCHEDULE_ONLY_TRAIN_KEYS = ("train_workers", "trace")
 
 
 def _schedule_free_spec(spec: Dict) -> Dict:

@@ -60,9 +60,12 @@ from itertools import product
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .experiment import Experiment, RunResult, run_cell
-from .rundir import (STATUS_COMPLETED, STATUS_FAILED, read_run_dir,
-                     read_status, run_dir_is_complete, write_failed_run_dir)
+from .rundir import (STATUS_COMPLETED, STATUS_FAILED, STATUS_RUNNING,
+                     TRACE_FILE, read_run_dir, read_status,
+                     run_dir_is_complete, write_failed_run_dir)
 from .spec import ExperimentSpec
+from ..obs import (absorb_events, current_seq, events_since, export_trace,
+                   span, trace_scope)
 from ..utils.threads import (apply_blas_thread_limit, blas_thread_budget,
                              blas_thread_limit)
 
@@ -314,6 +317,15 @@ class SweepRunner:
         #: (``None`` before run, or when ``base_dir`` is unset)
         self.report: Optional[SweepReport] = None
         self._skip_complete = False    # True on the resume path
+        #: tracing is sweep-wide when any cell asks for it: the parent
+        #: records claim/cell/persist lifecycle spans, absorbs worker
+        #: spans from cell summaries, and exports the merged
+        #: ``<base_dir>/trace.json``.  Checked on the raw override dict
+        #: so a cell with an invalid train_config still fails in its own
+        #: cell (isolation), not here
+        self._trace = any(isinstance(spec.train_config, dict)
+                          and bool(spec.train_config.get("trace"))
+                          for spec in self.specs)
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -340,29 +352,49 @@ class SweepRunner:
 
     # ------------------------------------------------------------------ #
     def run(self) -> List[RunResult]:
-        """Execute (or finish) the sweep; one ``RunResult`` per cell."""
+        """Execute (or finish) the sweep; one ``RunResult`` per cell.
+
+        When any cell's spec turns ``TrainConfig.trace`` on, the whole
+        sweep runs traced: the parent spans the cell lifecycle (claim ->
+        run -> persist), worker-side spans come back in each cell's
+        summary and are absorbed exactly once, and the merged trace is
+        exported as ``<base_dir>/trace.json``.
+        """
+        trace_start = current_seq()
+        with trace_scope(self._trace):
+            results = self._run(trace_start)
+        if self._trace and self.base_dir is not None:
+            # exported after the scope closes so the sweep's own
+            # lifecycle spans appear alongside the absorbed worker spans
+            export_trace(os.path.join(self.base_dir, TRACE_FILE),
+                         events_since(trace_start))
+        return results
+
+    def _run(self, trace_start: int) -> List[RunResult]:
         n = len(self.cells)
         results: List[Optional[RunResult]] = [None] * n
         run_dirs: List[Optional[str]] = [None] * n
 
         if self.base_dir is not None:
             os.makedirs(self.base_dir, exist_ok=True)
-            for i, (name, spec) in enumerate(self.cells):
-                path = os.path.join(self.base_dir, name)
-                if self._skip_complete:
-                    if run_dir_is_complete(path, spec):
-                        results[i] = RunResult.load(path)
-                        continue
-                    # invalid / failed / half-written: clear and re-claim
-                    # the exact manifest name (resume never renames)
-                    if os.path.isdir(path):
-                        shutil.rmtree(path)
-                    os.mkdir(path)
-                else:
-                    name, path = claim_run_dir(self.base_dir, name)
-                    self.cells[i] = (name, spec)
-                run_dirs[i] = path
-            self._write_manifest(results)
+            with span("sweep.claim", cells=n):
+                for i, (name, spec) in enumerate(self.cells):
+                    path = os.path.join(self.base_dir, name)
+                    if self._skip_complete:
+                        if run_dir_is_complete(path, spec):
+                            results[i] = RunResult.load(path)
+                            continue
+                        # invalid / failed / half-written: clear and
+                        # re-claim the exact manifest name (resume never
+                        # renames)
+                        if os.path.isdir(path):
+                            shutil.rmtree(path)
+                        os.mkdir(path)
+                    else:
+                        name, path = claim_run_dir(self.base_dir, name)
+                        self.cells[i] = (name, spec)
+                    run_dirs[i] = path
+                self._write_manifest(results)
 
         pending = [i for i in range(n) if results[i] is None]
         if self.workers and self.workers >= 1:
@@ -371,8 +403,9 @@ class SweepRunner:
             self._run_sequential(pending, run_dirs, results)
 
         if self.base_dir is not None:
-            self._write_manifest(results)
-            self.report = aggregate_results(self.base_dir)
+            with span("sweep.persist"):
+                self._write_manifest(results)
+                self.report = aggregate_results(self.base_dir)
         return results
 
     # ------------------------------------------------------------------ #
@@ -397,11 +430,14 @@ class SweepRunner:
         """The classic in-process path: shared dataset cache, live fit."""
         dataset_cache: Dict = {}
         for i in pending:
-            _, spec = self.cells[i]
+            name, spec = self.cells[i]
             try:
-                results[i] = Experiment(spec).run(
-                    run_dir=run_dirs[i], dataset_cache=dataset_cache,
-                    verbose=self.verbose)
+                # in-process: the cell's spans land directly in this
+                # process's buffer, so nothing needs absorbing here
+                with span("sweep.cell", cell=name):
+                    results[i] = Experiment(spec).run(
+                        run_dir=run_dirs[i], dataset_cache=dataset_cache,
+                        verbose=self.verbose)
             except Exception as exc:       # noqa: BLE001 — cell isolation
                 results[i] = self._record_failure(spec, run_dirs[i], exc)
 
@@ -422,26 +458,39 @@ class SweepRunner:
                                       run_dirs[i], self.verbose)
                        for i in pending}
             for i, future in futures.items():
-                _, spec = self.cells[i]
+                name, spec = self.cells[i]
                 try:
-                    payload = future.result()
+                    with span("sweep.collect", cell=name):
+                        payload = future.result()
                 except Exception as exc:   # worker process died outright
                     results[i] = self._record_failure(spec, run_dirs[i],
                                                       exc)
                     continue
+                trace_events = payload.get("trace_events")
+                if trace_events:
+                    # worker spans crossed the process boundary in the
+                    # summary; absorbing them here (and only here) keeps
+                    # the parent's merged trace exactly-once
+                    absorb_events(trace_events)
                 results[i] = RunResult(
                     spec=spec, metrics=payload["metrics"],
                     best_epoch=payload["best_epoch"],
                     timing=payload["timing"], probes=payload["probes"],
                     artifacts=payload["artifacts"],
                     run_dir=payload["run_dir"],
-                    status=payload["status"], error=payload.get("error"))
+                    status=payload["status"], error=payload.get("error"),
+                    trace_events=trace_events)
 
     def _record_failure(self, spec, run_dir, exc) -> RunResult:
         """Convert an in-parent exception into a failed cell record."""
         error = f"{type(exc).__name__}: {exc}"
         tb = _traceback.format_exc()
-        if run_dir is not None and read_status(run_dir) is None:
+        status = read_status(run_dir) if run_dir is not None else None
+        # only a *terminal* status already on disk wins; a leftover
+        # heartbeat ("running") means the cell died mid-fit and the
+        # failure record is ours to write
+        if run_dir is not None and (
+                status is None or status.get("status") == STATUS_RUNNING):
             write_failed_run_dir(run_dir, spec, error, tb)
         return RunResult(spec=spec, metrics={}, run_dir=run_dir,
                          status=STATUS_FAILED, error=error)

@@ -17,6 +17,8 @@ Commands
                (training one first when the snapshot doesn't exist yet)
 ``models``     list the registry
 ``datasets``   list registered datasets with Table-I style statistics
+``trace``      summarize a ``trace.json`` emitted by a traced run
+               (per-span aggregates, processes, counter tracks)
 
 Examples::
 
@@ -170,6 +172,68 @@ def _cmd_recommend(args) -> int:
               f"-> {args.output}")
     else:
         print(text)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Summarize a Chrome-format ``trace.json`` (see repro.obs).
+
+    Prints one aggregate row per span name (count, total/mean/max
+    milliseconds), the distinct processes that contributed events, and
+    the counter tracks present.  Exits 1 when the payload fails
+    :func:`repro.obs.validate_chrome_trace`.
+    """
+    from .obs import validate_chrome_trace
+
+    with open(args.trace) as handle:
+        payload = json.load(handle)
+    problems = validate_chrome_trace(payload)
+    if problems:
+        for problem in problems:
+            print(f"invalid trace: {problem}", file=sys.stderr)
+        return 1
+
+    events = payload["traceEvents"]
+    spans = {}
+    counters = set()
+    pids = set()
+    labels = {}
+    for event in events:
+        pids.add(event["pid"])
+        ph = event["ph"]
+        if ph == "X":
+            entry = spans.setdefault(event["name"],
+                                     {"count": 0, "total": 0.0, "max": 0.0})
+            dur_ms = event["dur"] / 1e3
+            entry["count"] += 1
+            entry["total"] += dur_ms
+            entry["max"] = max(entry["max"], dur_ms)
+        elif ph == "C":
+            counters.add(event["name"])
+        elif ph == "M" and event["name"] == "process_name":
+            labels[event["pid"]] = event.get("args", {}).get("name", "")
+
+    print(f"{args.trace}: {len(events)} events from "
+          f"{len(pids)} process(es)")
+    for pid in sorted(pids):
+        label = labels.get(pid, "")
+        print(f"  pid {pid}" + (f"  {label}" if label else ""))
+    if spans:
+        print(f"\n{'span':<24s} {'count':>7s} {'total ms':>10s} "
+              f"{'mean ms':>10s} {'max ms':>10s}")
+        for name in sorted(spans, key=lambda n: -spans[n]["total"]):
+            entry = spans[name]
+            mean = entry["total"] / entry["count"]
+            print(f"{name:<24s} {entry['count']:7d} "
+                  f"{entry['total']:10.2f} {mean:10.3f} "
+                  f"{entry['max']:10.2f}")
+    if counters:
+        print("\ncounter tracks: " + ", ".join(sorted(counters)))
+    dropped = payload.get("otherData", {}).get("dropped_events")
+    if dropped:
+        print(f"\nwarning: {dropped} event(s) were dropped by the ring "
+              "buffer (raise repro.obs.reset_tracing(capacity=...))",
+              file=sys.stderr)
     return 0
 
 
@@ -374,6 +438,13 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--run-dir", default=None, dest="run_dir",
                            help="write a replayable run directory here")
 
+    p_trace = sub.add_parser(
+        "trace", help="summarize a trace.json emitted by a traced run")
+    p_trace.add_argument("trace",
+                         help="path to a Chrome-format trace.json "
+                              "(TrainConfig.trace=True writes one per "
+                              "run dir; sweeps write a merged one)")
+
     p_rec = sub.add_parser(
         "recommend",
         help="serve top-k recommendations from a serving snapshot")
@@ -407,7 +478,8 @@ def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"models": _cmd_models, "datasets": _cmd_datasets,
                 "train": _cmd_train, "evaluate": _cmd_evaluate,
-                "recommend": _cmd_recommend, "run": _cmd_run}
+                "recommend": _cmd_recommend, "run": _cmd_run,
+                "trace": _cmd_trace}
     return handlers[args.command](args)
 
 

@@ -1,0 +1,351 @@
+"""Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+
+The metrics half of :mod:`repro.obs`.  Metrics are named, get-or-create
+singletons held in one process-wide table (the same shape as
+``repro.utils.component_registry``): calling :func:`counter` twice with
+the same name returns the same object, and asking for an existing name
+with a different kind raises.  Unlike tracing there is no enable flag --
+metric updates are a few hundred nanoseconds and happen at epoch /
+request granularity, so they are always on.
+
+Snapshots serialize to the ``metrics.json`` run-dir artifact
+(:func:`metrics_snapshot` / :func:`write_metrics`) and to the Prometheus
+text exposition format (:func:`prometheus_text`) for scraping.
+Histograms use fixed upper-bound buckets and estimate percentiles by
+linear interpolation inside the winning bucket -- good enough for the
+p50/p95/p99 latency reporting the serving microbench records.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "counter",
+    "gauge",
+    "histogram",
+    "get_metric",
+    "metrics_snapshot",
+    "write_metrics",
+    "prometheus_text",
+    "reset_metrics",
+]
+
+METRICS_SCHEMA = "repro-metrics/v1"
+"""Schema tag stamped into ``metrics.json`` snapshots."""
+
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+"""Default histogram bucket upper bounds (seconds), 10us .. 10s."""
+
+_registry_lock = threading.Lock()
+_registry: "Dict[str, _Metric]" = {}
+
+
+class _Metric:
+    """Common base: a named metric with a help string and its own lock."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serializable state; extended by each subclass."""
+        return {"kind": self.kind, "help": self.help}
+
+
+class Counter(_Metric):
+    """Monotonically increasing count (requests served, epochs run)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current cumulative count."""
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> Dict[str, Any]:
+        state = super().snapshot()
+        state["value"] = self.value
+        return state
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (last loss, live workers)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge value."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the gauge by ``amount`` (may be negative)."""
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current gauge value."""
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> Dict[str, Any]:
+        state = super().snapshot()
+        state["value"] = self.value
+        return state
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram with interpolated percentile estimates."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ):
+        super().__init__(name, help)
+        if buckets is None:
+            buckets = DEFAULT_LATENCY_BUCKETS
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError("buckets must be strictly increasing and non-empty")
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1 overflow bucket
+        self._sum = 0.0
+        self._count = 0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        index = 0
+        for bound in self.buckets:
+            if value <= bound:
+                break
+            index += 1
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    def time(self) -> "_HistogramTimer":
+        """Context manager observing the elapsed seconds of its block."""
+        return _HistogramTimer(self)
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        with self._lock:
+            return self._sum
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 < q <= 1``) from the buckets.
+
+        Linear interpolation within the bucket containing the target
+        rank; observations beyond the last bound clamp to the observed
+        maximum.  Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError("q must be in (0, 1]")
+        with self._lock:
+            total = self._count
+            if total == 0:
+                return 0.0
+            counts = list(self._counts)
+            observed_min = self._min
+            observed_max = self._max
+        rank = q * total
+        cumulative = 0.0
+        for index, bucket_count in enumerate(counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                if index == len(self.buckets):
+                    return observed_max
+                lower = self.buckets[index - 1] if index > 0 else min(0.0, observed_min)
+                upper = self.buckets[index]
+                lower = max(lower, observed_min) if observed_min <= upper else lower
+                fraction = (rank - cumulative) / bucket_count
+                return min(lower + (upper - lower) * fraction, observed_max)
+            cumulative += bucket_count
+        return observed_max
+
+    def percentiles(self, qs: Iterable[float] = (0.5, 0.95, 0.99)) -> Dict[str, float]:
+        """Map ``{"p50": ..., "p95": ...}`` for the requested quantiles."""
+        return {f"p{round(q * 100):d}": self.percentile(q) for q in qs}
+
+    def snapshot(self) -> Dict[str, Any]:
+        state = super().snapshot()
+        with self._lock:
+            counts = list(self._counts)
+            state.update(
+                count=self._count,
+                sum=self._sum,
+                min=self._min if self._count else 0.0,
+                max=self._max if self._count else 0.0,
+            )
+        state["buckets"] = [
+            [bound, count] for bound, count in zip(self.buckets, counts)
+        ] + [["+Inf", counts[-1]]]
+        state.update({k: v for k, v in self.percentiles().items()})
+        return state
+
+
+class _HistogramTimer:
+    """``with histogram.time():`` -- observes elapsed seconds on exit."""
+
+    __slots__ = ("_histogram", "_t0")
+
+    def __init__(self, histogram: Histogram):
+        self._histogram = histogram
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_HistogramTimer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self._histogram.observe(time.perf_counter() - self._t0)
+        return False
+
+
+def _get_or_create(name: str, kind: type, **kwargs: Any) -> Any:
+    with _registry_lock:
+        existing = _registry.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as {existing.kind}, "
+                    f"not {kind.kind}"
+                )
+            return existing
+        metric = kind(name, **kwargs)
+        _registry[name] = metric
+        return metric
+
+
+def counter(name: str, help: str = "") -> Counter:
+    """Get-or-create the :class:`Counter` registered under ``name``."""
+    return _get_or_create(name, Counter, help=help)
+
+
+def gauge(name: str, help: str = "") -> Gauge:
+    """Get-or-create the :class:`Gauge` registered under ``name``."""
+    return _get_or_create(name, Gauge, help=help)
+
+
+def histogram(
+    name: str, help: str = "", buckets: Optional[Sequence[float]] = None
+) -> Histogram:
+    """Get-or-create the :class:`Histogram` registered under ``name``."""
+    return _get_or_create(name, Histogram, help=help, buckets=buckets)
+
+
+def get_metric(name: str) -> Optional[_Metric]:
+    """Look up a registered metric by name (None when absent)."""
+    with _registry_lock:
+        return _registry.get(name)
+
+
+def metrics_snapshot() -> Dict[str, Any]:
+    """JSON-serializable snapshot of every registered metric."""
+    with _registry_lock:
+        metrics = sorted(_registry.items())
+    return {
+        "schema": METRICS_SCHEMA,
+        "metrics": {name: metric.snapshot() for name, metric in metrics},
+    }
+
+
+def write_metrics(path: str) -> str:
+    """Write :func:`metrics_snapshot` as JSON to ``path``; returns it."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(metrics_snapshot(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def _prom_name(name: str) -> str:
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return "repro_" + cleaned
+
+
+def prometheus_text() -> str:
+    """Render every registered metric in Prometheus text exposition format."""
+    with _registry_lock:
+        metrics = sorted(_registry.items())
+    lines: List[str] = []
+    for name, metric in metrics:
+        prom = _prom_name(name)
+        if metric.help:
+            lines.append(f"# HELP {prom} {metric.help}")
+        lines.append(f"# TYPE {prom} {metric.kind}")
+        if isinstance(metric, Histogram):
+            state = metric.snapshot()
+            cumulative = 0
+            for bound, count in state["buckets"]:
+                cumulative += count
+                label = "+Inf" if bound == "+Inf" else repr(float(bound))
+                lines.append(f'{prom}_bucket{{le="{label}"}} {cumulative}')
+            lines.append(f"{prom}_sum {state['sum']}")
+            lines.append(f"{prom}_count {state['count']}")
+        else:
+            lines.append(f"{prom} {metric.value}")
+    return "\n".join(lines) + "\n"
+
+
+def reset_metrics() -> None:
+    """Drop every registered metric (tests and bench isolation)."""
+    with _registry_lock:
+        _registry.clear()

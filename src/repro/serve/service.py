@@ -52,6 +52,7 @@ from .sharding import ShardedExecutor
 from .snapshot import Snapshot, load_snapshot
 from ..data import InteractionDataset
 from ..eval import rank_items_block
+from ..obs import counter, histogram, span
 
 
 class RecommenderService:
@@ -96,6 +97,15 @@ class RecommenderService:
         # enter from several shard threads at once; masking and top-k of
         # other shards still overlap with it
         self._model_lock = threading.Lock()
+        # always-on request latency histogram: histogram observation is a
+        # couple of comparisons per request (no tracing flag needed), and
+        # the serving microbench reads its p50/p95/p99 straight from here
+        self._latency = histogram("serve.request_seconds",
+                                  help="recommend() wall time in seconds")
+        self._requests = counter("serve.requests",
+                                 help="recommend() calls answered")
+        self._users_served = counter("serve.users_served",
+                                     help="user rows ranked across requests")
 
     # ------------------------------------------------------------------ #
     # construction
@@ -166,34 +176,41 @@ class RecommenderService:
             raise ValueError("user id out of range")
         if not 1 <= k <= self.num_items:
             raise ValueError(f"k must be in [1, {self.num_items}], got {k}")
-        # capture one consistent state generation for the whole request:
-        # a partial_update landing mid-request must not mix old and new
-        # embeddings/masks across this request's shards (the lock pairs
-        # the exclusion CSR with its matching embedding generation)
-        with self._update_lock:
-            exclusion = self._exclusion if exclude_seen else None
-            user_emb, item_emb = self._user_emb, self._item_emb
+        with self._latency.time(), span("serve.recommend",
+                                        users=len(user_ids), k=k,
+                                        backend=self.backend):
+            # capture one consistent state generation for the whole
+            # request: a partial_update landing mid-request must not mix
+            # old and new embeddings/masks across this request's shards
+            # (the lock pairs the exclusion CSR with its matching
+            # embedding generation)
+            with self._update_lock:
+                exclusion = self._exclusion if exclude_seen else None
+                user_emb, item_emb = self._user_emb, self._item_emb
 
-        def shard_fn(chunk: np.ndarray) -> np.ndarray:
-            if user_emb is not None:
-                scores = user_emb[chunk] @ item_emb.T
-            else:
-                with self._model_lock:
-                    scores = self._model.score_users(chunk)
-            return rank_items_block(scores, exclusion, chunk, k=k)
+            def shard_fn(chunk: np.ndarray) -> np.ndarray:
+                if user_emb is not None:
+                    scores = user_emb[chunk] @ item_emb.T
+                else:
+                    with self._model_lock:
+                        scores = self._model.score_users(chunk)
+                return rank_items_block(scores, exclusion, chunk, k=k)
 
-        itemsize = user_emb.dtype.itemsize if user_emb is not None else 8
-        cache = (self._model.inference_cache()
-                 if self._model is not None
-                 and hasattr(self._model, "inference_cache")
-                 else nullcontext())
-        with cache:
-            blocks = self._executor.map_chunks(shard_fn, user_ids,
-                                               self.num_items,
-                                               itemsize=itemsize)
-        if not blocks:
-            return np.empty((0, k), dtype=np.int64)
-        return np.concatenate(blocks, axis=0)
+            itemsize = (user_emb.dtype.itemsize if user_emb is not None
+                        else 8)
+            cache = (self._model.inference_cache()
+                     if self._model is not None
+                     and hasattr(self._model, "inference_cache")
+                     else nullcontext())
+            with cache:
+                blocks = self._executor.map_chunks(shard_fn, user_ids,
+                                                   self.num_items,
+                                                   itemsize=itemsize)
+            self._requests.inc()
+            self._users_served.inc(len(user_ids))
+            if not blocks:
+                return np.empty((0, k), dtype=np.int64)
+            return np.concatenate(blocks, axis=0)
 
     # ------------------------------------------------------------------ #
     # incremental updates
@@ -221,7 +238,8 @@ class RecommenderService:
         if items.min() < 0 or items.max() >= self.num_items:
             raise ValueError("item id out of range")
 
-        with self._update_lock:
+        with self._update_lock, span("serve.partial_update",
+                                     edges=len(users)):
             old = self._exclusion
             known = np.asarray(old[users, items]).ravel() != 0
             users, items = users[~known], items[~known]
@@ -258,6 +276,8 @@ class RecommenderService:
             updated.data = np.ones_like(updated.data)
             updated.sort_indices()
             self._exclusion = updated
+            counter("serve.partial_updates",
+                    help="partial_update() calls that added edges").inc()
             return {"new_edges": len(users), "refreshed_users": refreshed}
 
     # ------------------------------------------------------------------ #
@@ -267,7 +287,13 @@ class RecommenderService:
         return self._exclusion.indices[start:stop].copy()
 
     def stats(self) -> Dict[str, object]:
-        """Operational summary (CLI / monitoring)."""
+        """Operational summary (CLI / monitoring).
+
+        ``requests_served`` / ``latency_seconds`` come from the
+        process-wide :mod:`repro.obs` metrics registry, so they aggregate
+        over every service instance in the process (the registry is a
+        process-level sink by design).
+        """
         return {
             "model": self.model_name,
             "backend": self.backend,
@@ -279,6 +305,8 @@ class RecommenderService:
                 self.num_items,
                 itemsize=(self._user_emb.dtype.itemsize
                           if self._user_emb is not None else 8)),
+            "requests_served": int(self._requests.value),
+            "latency_seconds": self._latency.percentiles(),
         }
 
     def close(self) -> None:

@@ -121,6 +121,21 @@ class TrainConfig:
     early_stop_patience: Optional[int] = None  # evals w/o improvement
     early_stop_metric: str = "recall@20"
     verbose: bool = False
+    trace: bool = False                       # record repro.obs spans for
+                                              # this fit (epochs, batches,
+                                              # refreshes, worker batches)
+                                              # and, via the experiment
+                                              # layer, export a Chrome-
+                                              # trace trace.json into the
+                                              # run dir.  Observability
+                                              # only: never changes the
+                                              # math, and run_dir
+                                              # fingerprints normalize it
+                                              # out like train_workers.
+                                              # Off by default; the
+                                              # disabled path is a no-op
+                                              # fast path asserted by the
+                                              # hot-path bench
     fail_after_epoch: Optional[int] = None    # fault-injection hook: raise
                                               # RuntimeError once this many
                                               # epochs completed.  Exists so

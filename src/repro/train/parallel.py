@@ -73,6 +73,8 @@ from ..autograd import (Tensor, enable_primitive_profiling, fused_bpr_loss,
                         fused_kernels_enabled, primitive_profile,
                         scatter_rows, use_backend, functional as F)
 from ..autograd.shmem import SharedNDArray
+from ..obs import (absorb_events, drain_events, enable_tracing,
+                   set_process_label, span)
 from ..utils.threads import (apply_blas_thread_limit, blas_thread_budget,
                              blas_thread_limit)
 
@@ -185,8 +187,9 @@ def _worker_main(init: Dict, task_queue, result_queue) -> None:
     in slot ``slot`` of this worker's shared result buffer and a
     ``("done", worker_id, slot, seq, loss)`` message tells the parent.
     ``None`` shuts the worker down, answering with its accumulated
-    primitive-profile counters so the parent can keep
-    ``FitResult.primitive_seconds`` truthful.
+    primitive-profile counters — and, when the parent traced the fit,
+    its ``repro.obs`` span events — so the parent can keep
+    ``FitResult.primitive_seconds`` and the merged trace truthful.
     """
     apply_blas_thread_limit(init["blas_threads"])
     worker_id = init["worker_id"]
@@ -194,6 +197,9 @@ def _worker_main(init: Dict, task_queue, result_queue) -> None:
     items_tbl = SharedNDArray.attach(init["item_spec"])
     grads_tbl = SharedNDArray.attach(init["grad_spec"])
     enable_primitive_profiling(bool(init["profile"]))
+    if init.get("trace"):
+        enable_tracing(True)
+        set_process_label(f"train-worker-{worker_id}")
     stack = ExitStack()
     if init["backend"]:
         stack.enter_context(use_backend(init["backend"]))
@@ -202,19 +208,20 @@ def _worker_main(init: Dict, task_queue, result_queue) -> None:
             task = task_queue.get()
             if task is None:
                 result_queue.put(("profile", worker_id,
-                                  primitive_profile()))
+                                  primitive_profile(), drain_events()))
                 break
             slot, seq, users, pos, neg = task
             try:
-                su = users_tbl.array
-                si = items_tbl.array
-                loss, gu, gp, gn = stale_batch_grads(
-                    su[users], si[pos], si[neg], init["reg_weight"])
-                buf = grads_tbl.array[slot]
-                n = users.shape[0]
-                buf[0, :n] = gu
-                buf[1, :n] = gp
-                buf[2, :n] = gn
+                with span("train.stale_batch", seq=seq, worker=worker_id):
+                    su = users_tbl.array
+                    si = items_tbl.array
+                    loss, gu, gp, gn = stale_batch_grads(
+                        su[users], si[pos], si[neg], init["reg_weight"])
+                    buf = grads_tbl.array[slot]
+                    n = users.shape[0]
+                    buf[0, :n] = gu
+                    buf[1, :n] = gp
+                    buf[2, :n] = gn
                 result_queue.put(("done", worker_id, slot, seq, loss))
             except Exception:  # noqa: BLE001 — surfaced in the parent
                 result_queue.put(("error", worker_id, slot, seq,
@@ -241,7 +248,7 @@ class StaleGradientPool:
     def __init__(self, workers: int, num_users: int, num_items: int,
                  dim: int, dtype, batch_size: int, max_window: int,
                  reg_weight: float, backend: Optional[str] = None,
-                 profile: bool = False):
+                 profile: bool = False, trace: bool = False):
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
         ctx = multiprocessing.get_context(MP_START_METHOD)
@@ -268,6 +275,7 @@ class StaleGradientPool:
                         "reg_weight": reg_weight,
                         "backend": backend,
                         "profile": profile,
+                        "trace": trace,
                         "blas_threads": blas}
                 proc = ctx.Process(target=_worker_main,
                                    args=(init, self._tasks[w],
@@ -333,7 +341,11 @@ class StaleGradientPool:
         """Shut workers down; return their merged primitive profile.
 
         Idempotent (later calls return ``{}``), and safe mid-crash: dead
-        workers are skipped, stragglers terminated.
+        workers are skipped, stragglers terminated.  Each worker's
+        shutdown message also carries its drained ``repro.obs`` trace
+        events (empty unless the fit was traced); they are absorbed into
+        this process's trace buffer here — the idempotence is what makes
+        the cross-process merge exactly-once, crash or no crash.
         """
         if self._closed:
             return {}
@@ -358,6 +370,8 @@ class StaleGradientPool:
                                          {"calls": 0, "seconds": 0.0})
                 into["calls"] += entry.get("calls", 0)
                 into["seconds"] += entry.get("seconds", 0.0)
+            if len(msg) > 3 and msg[3]:
+                absorb_events(msg[3])
         for proc in self._procs:
             proc.join(timeout=5.0)
             if proc.is_alive():  # pragma: no cover - hung worker

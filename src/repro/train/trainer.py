@@ -23,6 +23,8 @@ from ..autograd import (Adam, ExponentialLR, SPMM_PRIMITIVES, no_grad,
                         spmm_profile, use_backend)
 from ..data import BPRSampler, InteractionDataset
 from ..eval import evaluate_model
+from ..obs import (console, counter, counter_event, gauge, histogram, span,
+                   trace_scope, tracing_enabled)
 from ..utils import Timer
 
 
@@ -105,10 +107,15 @@ class Trainer:
 
     def __init__(self, model, dataset: InteractionDataset,
                  config: Optional[TrainConfig] = None,
-                 seed: int = 0):
+                 seed: int = 0, epoch_hook=None):
         self.model = model
         self.dataset = dataset
         self.config = config or TrainConfig()
+        # called with each EpochRecord right after it lands in history;
+        # the experiment layer uses it to stream crash-safe metrics.jsonl
+        # rows and status.json heartbeats.  A plain constructor argument
+        # (not a TrainConfig field) so configs stay JSON-round-trippable
+        self.epoch_hook = epoch_hook
         self._validate_schedule(model, self.config)
         self.rng = np.random.default_rng(seed)
         self.sampler = BPRSampler(dataset.train, self.rng)
@@ -153,12 +160,15 @@ class Trainer:
 
         ``TrainConfig.autograd_backend`` (when set) scopes the primitive
         backend selection — e.g. the fused hot-path kernels — to this
-        fit and is restored afterwards.
+        fit and is restored afterwards.  ``TrainConfig.trace`` likewise
+        scopes ``repro.obs`` tracing to this fit (and never force-
+        disables tracing a caller already enabled).
         """
-        if self.config.autograd_backend:
-            with use_backend(self.config.autograd_backend):
-                return self._fit()
-        return self._fit()
+        with trace_scope(self.config.trace):
+            if self.config.autograd_backend:
+                with use_backend(self.config.autograd_backend):
+                    return self._fit()
+            return self._fit()
 
     def _fit(self) -> FitResult:
         cfg = self.config
@@ -216,14 +226,34 @@ class Trainer:
             batch_size=cfg.batch_size, max_window=max_window,
             reg_weight=self.model.config.reg_weight,
             backend=cfg.autograd_backend,
-            profile=primitive_profiling_enabled())
+            profile=primitive_profiling_enabled(),
+            trace=tracing_enabled())
+
+    @staticmethod
+    def _emit_primitive_counters(profile_at_start) -> None:
+        """Re-expose the autograd profiler as trace counter tracks.
+
+        When both tracing and per-primitive profiling are on, each epoch
+        drops one Chrome ``"C"`` sample per primitive with the seconds
+        accumulated since fit start — a plottable time series of where
+        the tape spends its time.  No-op otherwise.
+        """
+        if not (tracing_enabled() and primitive_profiling_enabled()):
+            return
+        for name, entry in primitive_profile().items():
+            delta = entry["seconds"] - profile_at_start.get(
+                name, {}).get("seconds", 0.0)
+            if delta > 0.0:
+                counter_event(f"autograd.{name}", seconds=delta,
+                              calls=entry["calls"])
 
     def _fit_epochs(self, cfg, num_batches, propagate_every, pool, history,
                     timer, sampler_timer, eval_timer, spmm_seconds_at_start,
                     profile_at_start, best_value, best_metrics, best_epoch,
                     stale_evals) -> FitResult:
         for epoch in range(1, cfg.epochs + 1):
-            with timer:
+            epoch_started = timer.total
+            with span("train.epoch", epoch=epoch), timer:
                 if hasattr(self.model, "on_epoch_start"):
                     self.model.on_epoch_start(epoch, self.rng)
                 if propagate_every == 1:
@@ -231,14 +261,15 @@ class Trainer:
                     # pre-scheduler trainer (bit-identical by construction)
                     epoch_loss = 0.0
                     for _ in range(num_batches):
-                        with sampler_timer:
-                            users, pos, neg = self.sampler.sample(
-                                cfg.batch_size)
-                        loss = self.model.loss(users, pos, neg)
-                        self.optimizer.zero_grad()
-                        loss.backward()
-                        self.optimizer.step()
-                        epoch_loss += loss.item()
+                        with span("train.batch"):
+                            with sampler_timer:
+                                users, pos, neg = self.sampler.sample(
+                                    cfg.batch_size)
+                            loss = self.model.loss(users, pos, neg)
+                            self.optimizer.zero_grad()
+                            loss.backward()
+                            self.optimizer.step()
+                            epoch_loss += loss.item()
                 else:
                     epoch_loss = self._amortized_epoch(
                         num_batches, propagate_every, pool, sampler_timer)
@@ -247,7 +278,7 @@ class Trainer:
 
             metrics: Dict[str, float] = {}
             if epoch % cfg.eval_every == 0 or epoch == cfg.epochs:
-                with eval_timer:
+                with span("train.eval", epoch=epoch), eval_timer:
                     metrics = evaluate_model(
                         self.model, self.dataset, ks=cfg.eval_ks,
                         metrics=cfg.eval_metrics,
@@ -266,11 +297,23 @@ class Trainer:
                 if metrics:
                     msg += "  " + "  ".join(f"{k}={v:.4f}"
                                             for k, v in metrics.items())
-                print(msg)
+                console(msg)
+
+            counter("train.epochs",
+                    help="completed training epochs").inc()
+            counter("train.batches",
+                    help="gradient batches applied").inc(num_batches)
+            gauge("train.loss", help="last epoch's mean loss").set(epoch_loss)
+            histogram("train.epoch_seconds",
+                      help="wall-clock per training epoch").observe(
+                timer.total - epoch_started)
+            self._emit_primitive_counters(profile_at_start)
 
             history.append(EpochRecord(epoch=epoch, loss=epoch_loss,
                                        wall_time=timer.total,
                                        metrics=metrics))
+            if self.epoch_hook is not None:
+                self.epoch_hook(history[-1])
             if (cfg.fail_after_epoch is not None
                     and epoch >= cfg.fail_after_epoch):
                 # fault-injection hook (see TrainConfig.fail_after_epoch):
@@ -340,34 +383,37 @@ class Trainer:
         epoch_loss = 0.0
         batch = 0
         while batch < num_batches:
-            with sampler_timer:
-                users, pos, neg = self.sampler.sample(cfg.batch_size)
-            loss = model.loss(users, pos, neg)
-            self.optimizer.zero_grad()
-            loss.backward()
-            self.optimizer.step()
-            epoch_loss += loss.item()
+            with span("train.batch", exact=True):
+                with sampler_timer:
+                    users, pos, neg = self.sampler.sample(cfg.batch_size)
+                loss = model.loss(users, pos, neg)
+                self.optimizer.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+                epoch_loss += loss.item()
             batch += 1
             window = min(propagate_every - 1, num_batches - batch)
             if window < 1:
                 continue
-            stale_users, stale_items = model.refresh_propagation()
-            batches = []
-            for _ in range(window):
-                with sampler_timer:
-                    batches.append(self.sampler.sample(cfg.batch_size))
-            if pool is not None:
-                pool.push_tables(stale_users, stale_items)
-                updates = pool.run_window(batches,
-                                          ordered=not cfg.async_updates)
-            else:
-                updates = iter_window_updates(stale_users, stale_items,
-                                              batches, reg_weight)
-            for users, pos, neg, loss_value, gu, gp, gn in updates:
-                apply_stale_gradients(model, self.optimizer,
-                                      users, pos, neg, gu, gp, gn,
-                                      ego_columns=self._ego_columns)
-                epoch_loss += loss_value
+            with span("train.refresh", batch=batch):
+                stale_users, stale_items = model.refresh_propagation()
+            with span("train.window", size=window):
+                batches = []
+                for _ in range(window):
+                    with sampler_timer:
+                        batches.append(self.sampler.sample(cfg.batch_size))
+                if pool is not None:
+                    pool.push_tables(stale_users, stale_items)
+                    updates = pool.run_window(batches,
+                                              ordered=not cfg.async_updates)
+                else:
+                    updates = iter_window_updates(stale_users, stale_items,
+                                                  batches, reg_weight)
+                for users, pos, neg, loss_value, gu, gp, gn in updates:
+                    apply_stale_gradients(model, self.optimizer,
+                                          users, pos, neg, gu, gp, gn,
+                                          ego_columns=self._ego_columns)
+                    epoch_loss += loss_value
             batch += window
         return epoch_loss
 

@@ -316,3 +316,80 @@ class TestRunSweepEngine:
             fh.write("[]")
         assert main(["run", path]) == 2
         assert "empty spec list" in capsys.readouterr().err
+
+
+class TestTrace:
+    """`repro trace` — summarize a Chrome-format trace.json."""
+
+    def _write_trace(self, tmp_path, events):
+        from repro.obs import chrome_trace
+        path = str(tmp_path / "trace.json")
+        with open(path, "w") as fh:
+            json.dump(chrome_trace(events), fh)
+        return path
+
+    def test_summarizes_spans_and_pids(self, tmp_path, capsys):
+        events = [
+            {"name": "train.epoch", "ph": "X", "ts": 0.0, "dur": 2000.0,
+             "pid": 100, "tid": 1, "args": {}},
+            {"name": "train.epoch", "ph": "X", "ts": 2500.0, "dur": 4000.0,
+             "pid": 100, "tid": 1, "args": {}},
+            {"name": "train.stale_batch", "ph": "X", "ts": 100.0,
+             "dur": 500.0, "pid": 200, "tid": 1, "args": {}},
+            {"name": "process_name", "ph": "M", "pid": 200, "tid": 0,
+             "args": {"name": "train-worker-0"}},
+            {"name": "autograd.matmul", "ph": "C", "ts": 3000.0,
+             "pid": 100, "tid": 0, "args": {"seconds": 0.5}},
+        ]
+        path = self._write_trace(tmp_path, events)
+        assert main(["trace", path]) == 0
+        out = capsys.readouterr().out
+        assert "2 process(es)" in out
+        assert "train-worker-0" in out
+        assert "train.epoch" in out
+        assert "autograd.matmul" in out
+        # 2 epochs of 2ms + 4ms
+        lines = [l for l in out.splitlines() if l.startswith("train.epoch")]
+        assert len(lines) == 1
+        fields = lines[0].split()
+        assert fields[1] == "2"          # count
+        assert float(fields[2]) == pytest.approx(6.0)   # total ms
+        assert float(fields[3]) == pytest.approx(3.0)   # mean ms
+        assert float(fields[4]) == pytest.approx(4.0)   # max ms
+
+    def test_invalid_trace_exits_nonzero(self, tmp_path, capsys):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as fh:
+            json.dump({"traceEvents": [{"ph": "X"}]}, fh)
+        assert main(["trace", path]) == 1
+        assert "invalid trace" in capsys.readouterr().err
+
+    def test_real_run_trace_roundtrip(self, tmp_path, capsys):
+        """An actual traced run's trace.json summarizes cleanly."""
+        import os
+        from repro.api import Experiment, ExperimentSpec
+        spec = ExperimentSpec(
+            model="biasmf", dataset="tiny", seed=0,
+            model_config={"embedding_dim": 8},
+            train_config={"epochs": 2, "batch_size": 64, "eval_every": 2,
+                          "verbose": False, "trace": True})
+        run_dir = str(tmp_path / "run")
+        Experiment(spec).run(run_dir=run_dir)
+        trace_path = os.path.join(run_dir, "trace.json")
+        assert os.path.exists(trace_path)
+        assert main(["trace", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "experiment.run" in out
+        assert "train.epoch" in out
+
+    def test_dropped_events_warn(self, tmp_path, capsys):
+        from repro.obs import chrome_trace
+        payload = chrome_trace([
+            {"name": "s", "ph": "X", "ts": 0.0, "dur": 1.0,
+             "pid": 1, "tid": 1, "args": {}}])
+        payload["otherData"]["dropped_events"] = 7
+        path = str(tmp_path / "trace.json")
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+        assert main(["trace", path]) == 0
+        assert "7 event(s) were dropped" in capsys.readouterr().err

@@ -10,7 +10,7 @@ import repro
 
 PACKAGES = ["repro", "repro.autograd", "repro.graph", "repro.data",
             "repro.eval", "repro.train", "repro.models", "repro.core",
-            "repro.serve", "repro.utils", "repro.api"]
+            "repro.serve", "repro.utils", "repro.api", "repro.obs"]
 
 
 def _walk_modules():

@@ -1,0 +1,107 @@
+"""Static lint: observability goes through ``repro.obs``, nowhere else.
+
+The unified observability layer's contract is that user-facing output
+and timing instrumentation have exactly one home.  This AST walk over
+``src/repro/`` fails the build if someone reintroduces an ad-hoc
+``print(...)`` (use :func:`repro.obs.console`, or a metric/span) or a
+raw ``time.perf_counter()`` timing site (use
+:meth:`repro.obs.Histogram.time`, :func:`repro.obs.span`, or
+:class:`repro.utils.Timer`) outside the sanctioned modules.
+
+Allowlist
+---------
+``repro/obs/``               the layer itself (owns the clock + sink)
+``repro/cli.py``             a CLI's job is to print
+``repro/utils/timer.py``     the Timer abstraction wraps the clock
+``repro/autograd/primitives.py``  the per-primitive profiler's hot path
+                             deliberately calls the clock inline (a
+                             Timer object per primitive dispatch would
+                             cost more than the measurement)
+"""
+
+import ast
+import pathlib
+
+SRC_ROOT = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+OBS_DIR = SRC_ROOT / "obs"
+
+#: modules allowed to call print() — relative to SRC_ROOT
+PRINT_ALLOWED = {"cli.py"}
+
+#: modules allowed to call time.perf_counter() — relative to SRC_ROOT
+CLOCK_ALLOWED = {"utils/timer.py", "autograd/primitives.py"}
+
+
+def _modules_outside_obs():
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        if OBS_DIR not in path.parents:
+            yield path
+
+
+def _is_perf_counter_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr == "perf_counter":
+        return True
+    return isinstance(func, ast.Name) and func.id == "perf_counter"
+
+
+def _violations(path: pathlib.Path, *, allow_print=False,
+                allow_clock=False):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    found = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if not allow_print and isinstance(node.func, ast.Name) \
+                and node.func.id == "print":
+            found.append((node.lineno,
+                          "calls print() — route output through "
+                          "repro.obs.console() or a metric"))
+        if not allow_clock and _is_perf_counter_call(node):
+            found.append((node.lineno,
+                          "calls time.perf_counter() — use "
+                          "Histogram.time(), span(), or repro.utils."
+                          "Timer"))
+    return found
+
+
+def test_no_ad_hoc_observability_outside_obs():
+    offenders = []
+    for path in _modules_outside_obs():
+        rel = path.relative_to(SRC_ROOT).as_posix()
+        for lineno, why in _violations(
+                path,
+                allow_print=rel in PRINT_ALLOWED,
+                allow_clock=rel in CLOCK_ALLOWED):
+            offenders.append(f"repro/{rel}:{lineno}: {why}")
+    assert not offenders, (
+        "ad-hoc observability code outside repro/obs/ — go through the "
+        "observability layer instead:\n" + "\n".join(offenders))
+
+
+def test_allowlists_point_at_real_modules():
+    """A renamed module must not silently widen the lint."""
+    for rel in PRINT_ALLOWED | CLOCK_ALLOWED:
+        assert (SRC_ROOT / rel).exists(), f"stale allowlist entry: {rel}"
+
+
+def test_lint_actually_detects_violations(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "import time\n"
+        "def work():\n"
+        "    start = time.perf_counter()\n"
+        "    print('took', time.perf_counter() - start)\n")
+    found = _violations(bad)
+    assert len(found) == 3
+    assert sum("print()" in why for _, why in found) == 1
+    assert sum("perf_counter" in why for _, why in found) == 2
+
+
+def test_allow_flags_suppress_matching_violations(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nprint(time.perf_counter())\n")
+    assert len(_violations(bad)) == 2
+    assert len(_violations(bad, allow_print=True)) == 1
+    assert len(_violations(bad, allow_clock=True)) == 1
+    assert _violations(bad, allow_print=True, allow_clock=True) == []

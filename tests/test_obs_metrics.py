@@ -1,0 +1,184 @@
+"""Unit tests for repro.obs metrics: registry, histograms, exports."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_metrics():
+    obs.reset_metrics()
+    yield
+    obs.reset_metrics()
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        assert obs.counter("train.epochs") is obs.counter("train.epochs")
+        assert obs.gauge("g") is obs.gauge("g")
+        assert obs.histogram("h") is obs.histogram("h")
+
+    def test_kind_mismatch_raises(self):
+        obs.counter("metric.x")
+        with pytest.raises(TypeError):
+            obs.gauge("metric.x")
+
+    def test_get_metric_lookup(self):
+        created = obs.counter("known")
+        assert obs.get_metric("known") is created
+        assert obs.get_metric("unknown") is None
+
+    def test_reset_drops_everything(self):
+        obs.counter("c").inc()
+        obs.reset_metrics()
+        assert obs.get_metric("c") is None
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        c = obs.counter("requests", help="served requests")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            obs.counter("c").inc(-1)
+
+    def test_snapshot(self):
+        c = obs.counter("c", help="h")
+        c.inc(2)
+        assert c.snapshot() == {"kind": "counter", "help": "h", "value": 2.0}
+
+
+class TestGauge:
+    def test_set_and_adjust(self):
+        g = obs.gauge("loss")
+        g.set(0.5)
+        g.inc(-0.2)
+        assert g.value == pytest.approx(0.3)
+
+    def test_snapshot_kind(self):
+        g = obs.gauge("g")
+        g.set(1.0)
+        assert g.snapshot()["kind"] == "gauge"
+
+
+class TestHistogram:
+    def test_observe_counts_and_sum(self):
+        h = obs.histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(5.55)
+
+    def test_bucket_assignment_in_snapshot(self):
+        h = obs.histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        state = h.snapshot()
+        assert state["buckets"] == [[0.1, 1], [1.0, 1], ["+Inf", 1]]
+        assert state["min"] == pytest.approx(0.05)
+        assert state["max"] == pytest.approx(5.0)
+
+    def test_invalid_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            obs.histogram("bad", buckets=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            obs.histogram("bad2", buckets=())
+
+    def test_empty_percentile_is_zero(self):
+        assert obs.histogram("empty").percentile(0.5) == 0.0
+
+    def test_percentile_bounds_validation(self):
+        h = obs.histogram("h")
+        with pytest.raises(ValueError):
+            h.percentile(0.0)
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+    def test_percentiles_close_to_numpy_on_uniform_data(self):
+        rng = np.random.default_rng(7)
+        values = rng.uniform(0.0001, 0.2, size=5000)
+        h = obs.histogram("u")
+        for v in values:
+            h.observe(v)
+        for q in (0.5, 0.95, 0.99):
+            exact = float(np.quantile(values, q))
+            estimate = h.percentile(q)
+            # interpolated bucket estimate: within the bucket width
+            assert estimate == pytest.approx(exact, rel=0.5)
+            assert estimate <= h.snapshot()["max"]
+
+    def test_percentile_monotone_in_q(self):
+        h = obs.histogram("m")
+        for v in (0.001, 0.002, 0.02, 0.3, 2.0):
+            h.observe(v)
+        ps = [h.percentile(q) for q in (0.1, 0.5, 0.9, 0.99, 1.0)]
+        assert ps == sorted(ps)
+        assert ps[-1] == pytest.approx(2.0)
+
+    def test_percentiles_mapping_keys(self):
+        h = obs.histogram("p")
+        h.observe(0.01)
+        result = h.percentiles()
+        assert set(result) == {"p50", "p95", "p99"}
+
+    def test_timer_context_observes(self):
+        h = obs.histogram("t")
+        with h.time():
+            pass
+        assert h.count == 1
+        assert h.sum >= 0.0
+
+    def test_single_value_percentile_clamped_to_max(self):
+        h = obs.histogram("one", buckets=(1.0,))
+        h.observe(0.25)
+        assert h.percentile(0.99) <= 0.25
+
+
+class TestExports:
+    def test_metrics_snapshot_shape(self):
+        obs.counter("a").inc()
+        obs.gauge("b").set(2.0)
+        obs.histogram("c").observe(0.1)
+        snap = obs.metrics_snapshot()
+        assert snap["schema"] == obs.METRICS_SCHEMA
+        assert set(snap["metrics"]) == {"a", "b", "c"}
+        assert snap["metrics"]["c"]["count"] == 1
+
+    def test_snapshot_is_json_serializable(self):
+        obs.histogram("h").observe(0.5)
+        json.dumps(obs.metrics_snapshot())
+
+    def test_write_metrics_artifact(self, tmp_path):
+        obs.counter("written").inc(3)
+        path = obs.write_metrics(str(tmp_path / "metrics.json"))
+        payload = json.loads(open(path).read())
+        assert payload["metrics"]["written"]["value"] == 3.0
+
+    def test_prometheus_text_counter_and_gauge(self):
+        obs.counter("serve.requests", help="requests served").inc(2)
+        obs.gauge("train.loss").set(0.25)
+        text = obs.prometheus_text()
+        assert "# HELP repro_serve_requests requests served" in text
+        assert "# TYPE repro_serve_requests counter" in text
+        assert "repro_serve_requests 2.0" in text
+        assert "repro_train_loss 0.25" in text
+
+    def test_prometheus_text_histogram_cumulative_buckets(self):
+        h = obs.histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        text = obs.prometheus_text()
+        assert 'repro_lat_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_bucket{le="1.0"} 2' in text
+        assert 'repro_lat_bucket{le="+Inf"} 3' in text
+        assert "repro_lat_count 3" in text
+
+    def test_prometheus_name_sanitization(self):
+        obs.counter("weird-name.1").inc()
+        assert "repro_weird_name_1 1.0" in obs.prometheus_text()
