@@ -263,7 +263,11 @@ def check_hotpath_trend(records: Optional[list] = None,
     ``parallel_train_microbenchmark.stale_epochs_per_second`` for the
     amortized training schedule (the in-process stale number is the
     stable single-core floor; worker speedups depend on the machine's
-    core count and are recorded but not gated).
+    core count and are recorded but not gated) and
+    ``dispatch_microbenchmark.broker_cycles_per_second`` for the
+    filesystem broker's pure enqueue->claim->ack overhead (dispatched
+    sweep wall time is recorded but not gated: it includes worker
+    subprocess startup, which varies with machine load).
     """
     if tolerance is None:
         tolerance = TREND_TOLERANCE
@@ -304,6 +308,8 @@ def check_hotpath_trend(records: Optional[list] = None,
         ("sweep", "sweep_microbenchmark", "cells_per_second_sequential"),
         ("parallel_train", "parallel_train_microbenchmark",
          "stale_epochs_per_second"),
+        ("dispatch", "dispatch_microbenchmark",
+         "broker_cycles_per_second"),
     )
     for label, entry, key in gated_extras:
         now_entry = (extras or {}).get(entry)

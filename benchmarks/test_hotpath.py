@@ -37,6 +37,13 @@ Measures, on the gowalla profile with the paper's 60-epoch budget:
   row asserted faster only on multi-core machines; plus the
   staleness-vs-quality table (best metrics at K=1 vs K=8 for every
   amortization-eligible model family);
+* the dispatch-broker microbenchmark: pure enqueue -> claim -> ack_done
+  filesystem-broker cycles/sec (no training — the queue's scheduling
+  overhead per cell, trend-gated), plus the same 8-cell gowalla grid
+  run once sequentially and once dispatched across two ``repro worker``
+  subprocesses, with per-cell fingerprints asserted bit-identical and
+  both wall times recorded (the dispatched time includes worker
+  startup, so it is recorded but not gated);
 * the observability overhead: the disabled ``repro.obs.span()`` fast
   path timed in ns/call, and the same 60-epoch budget traced vs
   untraced, asserted under ``MAX_TRACE_OVERHEAD`` (10%); the serving
@@ -417,6 +424,107 @@ def test_sweep_engine_microbenchmark(tmp_path):
             f"{cores}-core machine")
 
 
+#: pure broker-cycle count for the dispatch microbench (each cycle is
+#: one enqueue -> claim -> ack_done round trip through the filesystem)
+DISPATCH_BROKER_CYCLES = 200
+
+#: worker subprocesses for the dispatched half of the bench
+DISPATCH_WORKERS = 2
+
+
+def test_dispatch_microbenchmark(tmp_path):
+    """Broker overhead/cell + dispatched-vs-sequential 8-cell sweep.
+
+    Two tiers.  (a) The pure queue cost: enqueue -> claim -> ack_done
+    cycles/sec on no-op payloads — every cycle is a handful of atomic
+    renames and JSON stamps, so this number is the broker's scheduling
+    overhead per cell and is trend-gated (a cell taking ~1 minute of
+    training dwarfs a ~ms broker cycle; the gate keeps it that way).
+    (b) The same 8-cell gowalla grid as the sweep microbench, run once
+    sequentially in-process and once dispatched across two ``repro
+    worker`` subprocesses — parity first (bit-identical per-cell
+    fingerprints), wall time recorded but not gated since the
+    dispatched figure includes ~1s/worker interpreter startup that a
+    one-core machine cannot amortize.
+    """
+    from repro.api import (ExperimentSpec, expand_grid, run_sweep,
+                           run_dir_fingerprint)
+    from repro.dispatch import (QueueBroker, collect_results,
+                                enqueue_sweep, launch_worker, make_task,
+                                wait_for_queue)
+
+    # ---- (a) pure broker cycles ----------------------------------- #
+    broker = QueueBroker(str(tmp_path / "ops"))
+    start = time.perf_counter()
+    for i in range(DISPATCH_BROKER_CYCLES):
+        name = f"cell-{i:04d}"
+        broker.enqueue(make_task(name, {"i": i}))
+        claimed = broker.claim("bench")
+        assert claimed is not None and claimed["name"] == name
+        broker.ack_done(name, {"status": "completed"})
+    cycle_seconds = time.perf_counter() - start
+    broker_tp = DISPATCH_BROKER_CYCLES / cycle_seconds
+
+    # ---- (b) dispatched vs sequential 8-cell grid ----------------- #
+    base = ExperimentSpec(
+        model=SWEEP_MODELS[0], dataset="gowalla",
+        model_config={"embedding_dim": BENCH_MODEL_CONFIG.embedding_dim,
+                      "num_layers": BENCH_MODEL_CONFIG.num_layers},
+        train_config={"epochs": SWEEP_EPOCHS,
+                      "batch_size": BENCH_TRAIN_CONFIG.batch_size,
+                      "eval_every": SWEEP_EPOCHS})
+    specs = expand_grid(base, models=list(SWEEP_MODELS),
+                        seeds=list(SWEEP_SEEDS))
+    assert len(specs) == 8
+
+    start = time.perf_counter()
+    sequential = run_sweep(list(specs), base_dir=str(tmp_path / "seq"))
+    sequential_seconds = time.perf_counter() - start
+
+    disp_dir = str(tmp_path / "disp")
+    start = time.perf_counter()
+    enqueue_sweep(list(specs), disp_dir)
+    procs = [launch_worker(disp_dir, worker_id=f"bench-{i}")
+             for i in range(DISPATCH_WORKERS)]
+    assert wait_for_queue(disp_dir, timeout=600.0)
+    for proc in procs:
+        proc.wait(timeout=60)
+    dispatched = collect_results(disp_dir)
+    dispatched_seconds = time.perf_counter() - start
+
+    assert [r.status for r in sequential] == ["completed"] * len(specs)
+    assert [r.status for r in dispatched] == ["completed"] * len(specs)
+    by_name = {os.path.basename(r.run_dir): r for r in dispatched}
+    for r_seq in sequential:
+        name = os.path.basename(r_seq.run_dir)
+        assert run_dir_fingerprint(r_seq.run_dir) == \
+            run_dir_fingerprint(by_name[name].run_dir), name
+
+    cores = (len(os.sched_getaffinity(0))
+             if hasattr(os, "sched_getaffinity")
+             else os.cpu_count() or 1)
+    record_hotpath_extra("dispatch_microbenchmark", {
+        "dataset": "gowalla",
+        "cells": len(specs),
+        "epochs_per_cell": SWEEP_EPOCHS,
+        "workers": DISPATCH_WORKERS,
+        "cores": cores,
+        "broker_cycles": DISPATCH_BROKER_CYCLES,
+        "broker_cycle_seconds": cycle_seconds,
+        "broker_cycles_per_second": broker_tp,
+        "broker_overhead_ms_per_cell": 1e3 * cycle_seconds
+        / DISPATCH_BROKER_CYCLES,
+        "sequential_seconds": sequential_seconds,
+        "dispatched_seconds": dispatched_seconds,
+        "cells_per_second_dispatched": len(specs) / dispatched_seconds,
+    })
+    print(f"\ndispatch broker: {broker_tp:,.0f} cycles/s "
+          f"({1e3 * cycle_seconds / DISPATCH_BROKER_CYCLES:.2f} ms/cell); "
+          f"8 cells sequential {sequential_seconds:.2f}s vs dispatched "
+          f"{dispatched_seconds:.2f}s over {DISPATCH_WORKERS} workers "
+          f"({cores} core(s))")
+
+
 def test_training_hotpath_breakdown():
     """One 60-epoch LightGCN run on gowalla (float32), timings recorded."""
     result = run_model("lightgcn", "gowalla")
@@ -741,6 +849,7 @@ if __name__ == "__main__":
     test_serving_throughput_microbenchmark(
         pathlib.Path(tempfile.mkdtemp()))
     test_sweep_engine_microbenchmark(pathlib.Path(tempfile.mkdtemp()))
+    test_dispatch_microbenchmark(pathlib.Path(tempfile.mkdtemp()))
     test_training_hotpath_breakdown()
     test_fused_kernel_microbenchmark()
     test_parallel_train_microbenchmark()

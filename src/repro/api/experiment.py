@@ -19,6 +19,7 @@ into a ``status: failed`` record instead of propagating.
 from __future__ import annotations
 
 import os
+import time
 import traceback as _traceback
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -26,8 +27,9 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from .rundir import (SPEC_FILE, STATUS_COMPLETED, STATUS_FAILED,
-                     MetricsStreamWriter, read_run_dir, read_status,
-                     write_failed_run_dir, write_heartbeat, write_run_dir)
+                     MetricsStreamWriter, heartbeat_cadence, read_run_dir,
+                     read_status, write_failed_run_dir, write_heartbeat,
+                     write_run_dir)
 from .spec import ExperimentSpec
 from ..data import InteractionDataset, resolve_dataset
 from ..obs import current_seq, events_since, span, trace_scope
@@ -231,14 +233,23 @@ class Experiment:
             spec.save(os.path.join(run_dir, SPEC_FILE))
             write_heartbeat(run_dir, epoch=0)
             stream = MetricsStreamWriter(run_dir)
+            # rate-limit heartbeat stamps to the configured cadence,
+            # measured on the monotonic clock (wall jumps can neither
+            # flood nor starve the liveness signal); 0 = every epoch
+            cadence = heartbeat_cadence(train_config.heartbeat_seconds)
+            last_beat = time.monotonic()
 
             def epoch_hook(record):
+                nonlocal last_beat
                 stream.write_event({"event": "epoch",
                                     "epoch": record.epoch,
                                     "loss": record.loss,
                                     "wall_time": record.wall_time,
                                     "metrics": record.metrics})
-                write_heartbeat(run_dir, epoch=record.epoch)
+                now = time.monotonic()
+                if cadence <= 0.0 or now - last_beat >= cadence:
+                    write_heartbeat(run_dir, epoch=record.epoch)
+                    last_beat = now
 
         from ..autograd import (enable_primitive_profiling,
                                 primitive_profiling_enabled)

@@ -53,7 +53,7 @@ import os
 import platform
 import sys
 import time
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 SPEC_FILE = "spec.json"
 STATUS_FILE = "status.json"
@@ -225,24 +225,93 @@ def _carry_heartbeat(run_dir: str) -> Dict:
     into a terminal status — a completed/failed record keeps the last
     time (and epoch at which) the run proved liveness."""
     status = read_status(run_dir) or {}
-    return {key: status[key] for key in ("last_heartbeat", "epoch")
+    return {key: status[key]
+            for key in ("last_heartbeat", "heartbeat_monotonic", "epoch")
             if key in status}
+
+
+#: default heartbeat cadence in seconds; 0 = stamp on every epoch (the
+#: historical behaviour).  Overridable per process via the
+#: ``REPRO_HEARTBEAT_SECONDS`` environment variable and per spec via
+#: ``TrainConfig.heartbeat_seconds``.
+DEFAULT_HEARTBEAT_SECONDS = 0.0
+
+#: registered ``fn(run_dir, epoch)`` callbacks invoked after every
+#: heartbeat stamp (see :func:`add_heartbeat_listener`)
+_HEARTBEAT_LISTENERS: List[Callable[[str, Optional[int]], None]] = []
+
+
+def heartbeat_cadence(configured: Optional[float] = None) -> float:
+    """Resolve the heartbeat cadence for a run, in seconds.
+
+    Precedence: an explicit ``TrainConfig.heartbeat_seconds`` value,
+    then the ``REPRO_HEARTBEAT_SECONDS`` environment variable, then
+    :data:`DEFAULT_HEARTBEAT_SECONDS`.  ``0`` means "stamp on every
+    epoch"; larger values rate-limit the ``status.json`` rewrite (and
+    any registered listeners) to at most one per cadence window —
+    measured on the *monotonic* clock, so a wall-clock jump can neither
+    flood nor suppress heartbeats.
+    """
+    if configured is not None:
+        return max(0.0, float(configured))
+    env = os.environ.get("REPRO_HEARTBEAT_SECONDS")
+    if env is not None:
+        try:
+            return max(0.0, float(env))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_HEARTBEAT_SECONDS={env!r} is not a number")
+    return DEFAULT_HEARTBEAT_SECONDS
+
+
+def add_heartbeat_listener(fn: Callable[[str, Optional[int]], None]
+                           ) -> Callable:
+    """Register ``fn(run_dir, epoch)`` to run after each heartbeat stamp.
+
+    This is the hook the dispatch layer (:mod:`repro.dispatch`) renews
+    its queue leases from: proving liveness to the run directory and to
+    the broker are the same event, so a worker that stops heartbeating
+    loses its lease exactly when its cell looks hung.  Returns ``fn``
+    so the caller can hand it straight to
+    :func:`remove_heartbeat_listener`.
+    """
+    _HEARTBEAT_LISTENERS.append(fn)
+    return fn
+
+
+def remove_heartbeat_listener(fn: Callable) -> None:
+    """Unregister a :func:`add_heartbeat_listener` callback (idempotent)."""
+    try:
+        _HEARTBEAT_LISTENERS.remove(fn)
+    except ValueError:
+        pass
 
 
 def write_heartbeat(run_dir: str, epoch: Optional[int] = None) -> str:
     """Stamp ``status.json`` as running, with a fresh ``last_heartbeat``.
 
-    Called once per epoch by the experiment layer: a cell whose
-    heartbeat is stale is hung, one whose heartbeat is fresh is merely
-    slow.  Only the status *value* feeds :func:`run_dir_fingerprint`, so
-    the wall-clock stamp never breaks determinism comparisons — and a
-    killed run's leftover ``running`` state correctly fails
-    :func:`run_dir_is_complete`, forcing a re-run on resume.
+    Called by the experiment layer on the :func:`heartbeat_cadence`
+    schedule: a cell whose heartbeat is stale is hung, one whose
+    heartbeat is fresh is merely slow.  The stamp is a *pair* of
+    timestamps — ``last_heartbeat`` (wall clock, human-readable) and
+    ``heartbeat_monotonic`` (``time.monotonic()``) — so liveness checks
+    comparing two stamps from the same process never trust the wall
+    clock alone (NTP steps / clock skew cannot fake or hide progress;
+    the dispatch broker additionally arbitrates lease staleness on the
+    shared filesystem's own mtime clock).  Only the status *value*
+    feeds :func:`run_dir_fingerprint`, so the stamps never break
+    determinism comparisons — and a killed run's leftover ``running``
+    state correctly fails :func:`run_dir_is_complete`, forcing a re-run
+    on resume.  Registered heartbeat listeners fire after the stamp.
     """
-    extra: Dict = {"last_heartbeat": time.time()}
+    extra: Dict = {"last_heartbeat": time.time(),
+                   "heartbeat_monotonic": time.monotonic()}
     if epoch is not None:
         extra["epoch"] = int(epoch)
-    return write_status(run_dir, STATUS_RUNNING, extra=extra)
+    path = write_status(run_dir, STATUS_RUNNING, extra=extra)
+    for listener in list(_HEARTBEAT_LISTENERS):
+        listener(run_dir, epoch)
+    return path
 
 
 def read_status(run_dir: str) -> Optional[Dict[str, str]]:
@@ -310,10 +379,12 @@ def _strip_wall_time(event: Dict) -> Dict:
 #: never *what* it computes — the ordered worker pool is bit-identical
 #: to sequential by construction, so the fingerprint treats
 #: ``train_workers`` exactly like the sweep's ``workers`` argument
-#: (which is not in the spec at all), and ``trace`` only records spans
-#: (tested observationally inert).  ``propagate_every`` and
+#: (which is not in the spec at all), ``trace`` only records spans
+#: (tested observationally inert), and ``heartbeat_seconds`` only
+#: rate-limits the status.json liveness stamp.  ``propagate_every`` and
 #: ``async_updates`` DO change the math and stay in the hash.
-_SCHEDULE_ONLY_TRAIN_KEYS = ("train_workers", "trace")
+_SCHEDULE_ONLY_TRAIN_KEYS = ("train_workers", "trace",
+                             "heartbeat_seconds")
 
 
 def _schedule_free_spec(spec: Dict) -> Dict:

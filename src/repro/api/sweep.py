@@ -143,10 +143,16 @@ def claim_run_dir(base_dir: str, name: str) -> Tuple[str, str]:
             candidate = f"{name}-{count}"
 
 
-def _assign_cell_names(specs: Sequence[ExperimentSpec]
-                       ) -> List[Tuple[str, ExperimentSpec]]:
+def assign_cell_names(specs: Sequence[ExperimentSpec]
+                      ) -> List[Tuple[str, ExperimentSpec]]:
     """Deterministic per-cell names: run_name plus in-sweep collision
-    suffixes (``-2``, ``-3``, ... — repeated cells never share a dir)."""
+    suffixes (``-2``, ``-3``, ... — repeated cells never share a dir).
+
+    Public because every sweep *engine* must agree on this mapping: the
+    dispatch coordinator (:mod:`repro.dispatch`) names its queue cells
+    through the same function, which is what makes a dispatched sweep's
+    run directories line up one-to-one with a sequential sweep's.
+    """
     used: Dict[str, int] = {}
     cells = []
     for spec in specs:
@@ -157,6 +163,10 @@ def _assign_cell_names(specs: Sequence[ExperimentSpec]
             name = f"{name}-{count + 1}"
         cells.append((name, spec))
     return cells
+
+
+#: backwards-compatible alias (pre-dispatch internal name)
+_assign_cell_names = assign_cell_names
 
 
 # --------------------------------------------------------------------- #

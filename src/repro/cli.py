@@ -19,6 +19,12 @@ Commands
 ``datasets``   list registered datasets with Table-I style statistics
 ``trace``      summarize a ``trace.json`` emitted by a traced run
                (per-span aggregates, processes, counter tracks)
+``worker``     run a dispatch worker daemon against a sweep directory's
+               queue (``repro.dispatch``): claim cells under crash-safe
+               leases, run them, repeat — on any machine sharing the dir
+``sweep-status`` inspect a dispatched sweep's queue: depth per state,
+               live leases with owner and age, attempts, dead letters,
+               DAG readiness
 
 Examples::
 
@@ -33,6 +39,8 @@ Examples::
         --checkpoint best.npz
     python -m repro recommend --snapshot serve.npz --model lightgcn \
         --dataset gowalla --users 0,1,2 --k 20 --workers 4
+    python -m repro worker runs/sweep --drain-when-empty
+    python -m repro sweep-status runs/sweep
 """
 
 from __future__ import annotations
@@ -319,6 +327,75 @@ def _cmd_run(args) -> int:
     return code
 
 
+def _cmd_worker(args) -> int:
+    """Run a dispatch worker daemon (see :mod:`repro.dispatch`).
+
+    Claims cells from ``<sweep_dir>/queue/`` under a lease, runs them
+    (writing ordinary run directories), and repeats until the drain
+    sentinel appears — or, with ``--drain-when-empty``, until the queue
+    settles.  Exit code is 0; task failures are queue records, not
+    worker crashes.
+    """
+    from .dispatch import DispatchWorker
+
+    worker = DispatchWorker(args.sweep_dir, worker_id=args.worker_id,
+                            lease_ttl=args.lease_ttl,
+                            drain_when_empty=args.drain_when_empty,
+                            poll_interval=args.poll_interval,
+                            max_tasks=args.max_tasks)
+    ran = worker.run()
+    print(f"worker {worker.worker_id}: {ran} task(s) executed")
+    return 0
+
+
+def _cmd_sweep_status(args) -> int:
+    """Print one snapshot of a dispatched sweep's queue.
+
+    Shows queue depth per state, every live lease (owner, host, age,
+    seconds since last renewal), pending cells' DAG readiness and
+    attempt counts, and dead-lettered cells with their final errors.
+    ``--json`` emits the raw :meth:`QueueBroker.status` payload instead.
+    Exit code: 0 when nothing is dead-lettered, 1 otherwise — usable
+    as a cheap health probe from cron or CI.
+    """
+    from .dispatch import QueueBroker
+
+    broker = QueueBroker(args.sweep_dir)
+    status = broker.status()
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 1 if status["counts"]["dead"] else 0
+
+    counts = status["counts"]
+    drained = "  [draining]" if status["drain_requested"] else ""
+    print(f"{args.sweep_dir}: {counts['pending']} pending, "
+          f"{counts['leased']} leased, {counts['done']} done, "
+          f"{counts['dead']} dead{drained}")
+    if status["leases"]:
+        print(f"\n{'cell':<28s} {'worker':<20s} {'age s':>7s} "
+              f"{'renewed s':>10s} {'attempt':>8s}")
+        for lease in status["leases"]:
+            print(f"{lease['name']:<28.28s} "
+                  f"{str(lease['worker']):<20.20s} "
+                  f"{lease['age_seconds']:7.1f} "
+                  f"{lease['renewed_seconds_ago']:10.1f} "
+                  f"{lease['attempts'] + 1:8d}")
+    blocked = [cell for cell in status["pending"] if not cell["ready"]]
+    if blocked:
+        print("\nwaiting:")
+        for cell in blocked:
+            why = (f"after {', '.join(cell['blocked_on'])}"
+                   if cell["blocked_on"] else "retry backoff")
+            print(f"  {cell['name']}: {why} "
+                  f"(attempt {cell['attempts'] + 1})")
+    if status["dead"]:
+        print("\ndead letters:")
+        for cell in status["dead"]:
+            print(f"  {cell['name']} (after {cell['attempts']} "
+                  f"attempt(s)): {cell['error']}")
+    return 1 if counts["dead"] else 0
+
+
 # --------------------------------------------------------------------- #
 # deprecated function-level entry points (one release of grace)
 # --------------------------------------------------------------------- #
@@ -445,6 +522,39 @@ def build_parser() -> argparse.ArgumentParser:
                               "(TrainConfig.trace=True writes one per "
                               "run dir; sweeps write a merged one)")
 
+    p_worker = sub.add_parser(
+        "worker",
+        help="run a dispatch worker against a sweep directory's queue")
+    p_worker.add_argument("sweep_dir",
+                          help="sweep directory holding the dispatch "
+                               "queue (repro.dispatch.enqueue_sweep)")
+    p_worker.add_argument("--worker-id", default=None, dest="worker_id",
+                          help="lease identity (default: <host>:<pid>)")
+    p_worker.add_argument("--lease-ttl", type=float, default=60.0,
+                          dest="lease_ttl",
+                          help="seconds a lease survives without a "
+                               "heartbeat renewal (must exceed the "
+                               "slowest training epoch)")
+    p_worker.add_argument("--poll-interval", type=float, default=0.5,
+                          dest="poll_interval",
+                          help="seconds between queue scans when idle")
+    p_worker.add_argument("--drain-when-empty", action="store_true",
+                          dest="drain_when_empty",
+                          help="exit once the queue settles instead of "
+                               "polling forever")
+    p_worker.add_argument("--max-tasks", type=int, default=None,
+                          dest="max_tasks",
+                          help="exit after running this many tasks")
+
+    p_status = sub.add_parser(
+        "sweep-status",
+        help="inspect a dispatched sweep's queue (leases, attempts, "
+             "dead letters, DAG readiness)")
+    p_status.add_argument("sweep_dir",
+                          help="sweep directory holding the dispatch queue")
+    p_status.add_argument("--json", action="store_true",
+                          help="emit the raw status payload as JSON")
+
     p_rec = sub.add_parser(
         "recommend",
         help="serve top-k recommendations from a serving snapshot")
@@ -479,7 +589,8 @@ def main(argv: Optional[list] = None) -> int:
     handlers = {"models": _cmd_models, "datasets": _cmd_datasets,
                 "train": _cmd_train, "evaluate": _cmd_evaluate,
                 "recommend": _cmd_recommend, "run": _cmd_run,
-                "trace": _cmd_trace}
+                "trace": _cmd_trace, "worker": _cmd_worker,
+                "sweep-status": _cmd_sweep_status}
     return handlers[args.command](args)
 
 

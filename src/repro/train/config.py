@@ -136,6 +136,19 @@ class TrainConfig:
                                               # disabled path is a no-op
                                               # fast path asserted by the
                                               # hot-path bench
+    heartbeat_seconds: Optional[float] = None  # minimum seconds between
+                                              # status.json heartbeat
+                                              # stamps (repro.api.rundir.
+                                              # write_heartbeat).  None =
+                                              # the REPRO_HEARTBEAT_SECONDS
+                                              # env var, else 0 = stamp on
+                                              # every epoch (the classic
+                                              # behaviour).  Throttling is
+                                              # measured on the monotonic
+                                              # clock.  Schedule-only: the
+                                              # run_dir fingerprint
+                                              # normalizes it out like
+                                              # train_workers/trace
     fail_after_epoch: Optional[int] = None    # fault-injection hook: raise
                                               # RuntimeError once this many
                                               # epochs completed.  Exists so

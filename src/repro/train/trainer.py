@@ -10,6 +10,7 @@ cumulative wall-clock), which directly feeds the paper's convergence figure
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -314,6 +315,16 @@ class Trainer:
                                        metrics=metrics))
             if self.epoch_hook is not None:
                 self.epoch_hook(history[-1])
+            kill_after = os.environ.get("REPRO_FAULT_KILL_AFTER_EPOCH")
+            if kill_after is not None and epoch >= int(kill_after):
+                # the hard half of the fault-injection surface: unlike
+                # fail_after_epoch (a catchable raise), this is a
+                # process death no except/finally can intercept — the
+                # crash/retry path the dispatch chaos tests exercise.
+                # An env var (not a config field) on purpose: it kills
+                # whichever *process* carries it, never changes a
+                # spec's identity, and composes with any spec
+                os._exit(137)
             if (cfg.fail_after_epoch is not None
                     and epoch >= cfg.fail_after_epoch):
                 # fault-injection hook (see TrainConfig.fail_after_epoch):

@@ -10,7 +10,8 @@ import repro
 
 PACKAGES = ["repro", "repro.autograd", "repro.graph", "repro.data",
             "repro.eval", "repro.train", "repro.models", "repro.core",
-            "repro.serve", "repro.utils", "repro.api", "repro.obs"]
+            "repro.serve", "repro.utils", "repro.api", "repro.obs",
+            "repro.dispatch"]
 
 
 def _walk_modules():
