@@ -223,6 +223,11 @@ def write_hotpath_artifact(path: Optional[str] = None) -> Optional[str]:
 #: check calls a timing a regression (shared one-core machines are noisy)
 TREND_TOLERANCE = float(os.environ.get("BENCH_TREND_TOLERANCE", "1.5"))
 
+#: absolute headroom added on top of the ratio tolerance for
+#: latency-style ("lower" direction) gated extras: millisecond-scale
+#: p95s double under scheduler jitter, so the ratio alone would flake
+LATENCY_SLACK_SECONDS = 0.025
+
 
 def load_committed_hotpath(path: Optional[str] = None) -> dict:
     """The committed ``BENCH_hotpath.json`` payload ({} when absent)."""
@@ -267,7 +272,15 @@ def check_hotpath_trend(records: Optional[list] = None,
     ``dispatch_microbenchmark.broker_cycles_per_second`` for the
     filesystem broker's pure enqueue->claim->ack overhead (dispatched
     sweep wall time is recorded but not gated: it includes worker
-    subprocess startup, which varies with machine load).
+    subprocess startup, which varies with machine load).  Latency-style
+    extras gate in the opposite direction (lower is better): the
+    serving load test's ``serving_load_test.p95_seconds_exact`` /
+    ``p95_seconds_ann`` percentiles must not exceed the committed
+    numbers by more than ``tolerance``x *plus*
+    :data:`LATENCY_SLACK_SECONDS` — single-digit-millisecond p95s
+    double under ordinary scheduler jitter, so a pure ratio would flake;
+    the absolute slack absorbs that while still failing loudly when a
+    percentile regresses to human-visible latency.
     """
     if tolerance is None:
         tolerance = TREND_TOLERANCE
@@ -303,24 +316,41 @@ def check_hotpath_trend(records: Optional[list] = None,
                     f"{name}: {now[name] * 1e3:.1f}ms vs committed "
                     f"{then[name] * 1e3:.1f}ms (> {tolerance:.2f}x)")
 
+    # (label, extras entry, metric key, direction): "higher" gates
+    # throughput-style metrics (now must not fall below committed /
+    # tolerance), "lower" gates latency-style metrics (now must not
+    # exceed committed * tolerance)
     gated_extras = (
-        ("serving", "serving_microbenchmark", "users_per_second_batched"),
-        ("sweep", "sweep_microbenchmark", "cells_per_second_sequential"),
+        ("serving", "serving_microbenchmark", "users_per_second_batched",
+         "higher"),
+        ("serving_load", "serving_load_test", "p95_seconds_exact",
+         "lower"),
+        ("serving_load", "serving_load_test", "p95_seconds_ann",
+         "lower"),
+        ("sweep", "sweep_microbenchmark", "cells_per_second_sequential",
+         "higher"),
         ("parallel_train", "parallel_train_microbenchmark",
-         "stale_epochs_per_second"),
+         "stale_epochs_per_second", "higher"),
         ("dispatch", "dispatch_microbenchmark",
-         "broker_cycles_per_second"),
+         "broker_cycles_per_second", "higher"),
     )
-    for label, entry, key in gated_extras:
+    for label, entry, key, direction in gated_extras:
         now_entry = (extras or {}).get(entry)
         then_entry = committed.get("extras", {}).get(entry)
         if not (now_entry and then_entry):
             continue
-        now_tp, then_tp = now_entry.get(key), then_entry.get(key)
-        if now_tp and then_tp and now_tp * tolerance < then_tp:
+        now_val, then_val = now_entry.get(key), then_entry.get(key)
+        if not (now_val and then_val):
+            continue
+        if direction == "higher" and now_val * tolerance < then_val:
             regressions.append(
-                f"{label} {key}: {now_tp:,.1f}/s vs committed "
-                f"{then_tp:,.1f}/s (> {tolerance:.2f}x slower)")
+                f"{label} {key}: {now_val:,.1f}/s vs committed "
+                f"{then_val:,.1f}/s (> {tolerance:.2f}x slower)")
+        elif (direction == "lower"
+              and now_val > then_val * tolerance + LATENCY_SLACK_SECONDS):
+            regressions.append(
+                f"{label} {key}: {now_val * 1e3:.2f}ms vs committed "
+                f"{then_val * 1e3:.2f}ms (> {tolerance:.2f}x slower)")
     return regressions
 
 

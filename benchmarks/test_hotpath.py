@@ -345,6 +345,124 @@ def test_serving_throughput_microbenchmark(tmp_path):
             f"{cores}-core machine")
 
 
+#: offered load for the latency-percentile load test: one request every
+#: LOAD_INTERVAL seconds, LOAD_REQUESTS times, LOAD_REQUEST_USERS each
+LOAD_REQUESTS = 400
+LOAD_REQUEST_USERS = 16
+LOAD_INTERVAL = 0.010           # 100 requests/sec offered (below
+                                # saturation, so percentiles measure
+                                # serving latency, not queue buildup)
+LOAD_WINDOW_MS = 2.0
+LOAD_USERS, LOAD_ITEMS, LOAD_DIM, LOAD_CENTERS = 100_000, 20_000, 32, 150
+
+
+def test_serving_latency_load_test(tmp_path):
+    """p50/p95/p99 under fixed offered load: exact vs ANN backend.
+
+    A 100k-user / 20k-item clustered synthetic snapshot (the scale where
+    approximate retrieval starts to matter, sized to keep the bench
+    session fast) is served through the :class:`AsyncRequestFront` at a
+    fixed offered load — ``LOAD_REQUESTS`` requests of
+    ``LOAD_REQUEST_USERS`` users submitted every ``LOAD_INTERVAL``
+    seconds — once per backend.  Per-request submit-to-answer latency
+    comes from the front's ``serve.front.request_seconds`` histogram
+    (:mod:`repro.obs`), reset between the two runs so the percentiles
+    are per-path.  Asserted: the exact path's front answers equal direct
+    ``recommend`` calls (batching changes *when*, never *what*), and the
+    ANN backend meets the committed recall@20 budget against exact on
+    the touched users.  The p95 of both paths lands in
+    ``BENCH_hotpath.json`` and is trend-gated (lower is better) by
+    ``check_hotpath_trend``.
+    """
+    from repro.obs import histogram, reset_metrics
+    from repro.serve import (AsyncRequestFront, DEFAULT_RECALL_BUDGET,
+                             RecommenderService, recall_at_k,
+                             save_embedding_snapshot)
+
+    k = 20
+    rng = np.random.default_rng(5)
+    centers = (rng.standard_normal((LOAD_CENTERS, LOAD_DIM)) * 3.0)
+    item = (centers[rng.integers(0, LOAD_CENTERS, LOAD_ITEMS)]
+            + rng.standard_normal((LOAD_ITEMS, LOAD_DIM)) * 0.4
+            ).astype(np.float32)
+    user = (centers[rng.integers(0, LOAD_CENTERS, LOAD_USERS)]
+            + rng.standard_normal((LOAD_USERS, LOAD_DIM)) * 0.4
+            ).astype(np.float32)
+    path = save_embedding_snapshot(str(tmp_path / "load.npz"), user, item,
+                                   dataset_name="synthetic-load")
+
+    req_rng = np.random.default_rng(13)
+    requests = [req_rng.integers(0, LOAD_USERS, size=LOAD_REQUEST_USERS)
+                for _ in range(LOAD_REQUESTS)]
+    touched = np.unique(np.concatenate(requests))
+
+    def run(backend):
+        with RecommenderService.from_snapshot(path, backend=backend,
+                                              mmap=True) as service:
+            service.recommend(requests[0], k=k)     # warm pages + index
+            # the front binds its histogram at construction, so reset
+            # *before* building it to get a per-path latency series
+            reset_metrics()
+            with AsyncRequestFront(service, window_ms=LOAD_WINDOW_MS,
+                                   k=k) as front:
+                futures = []
+                start = time.perf_counter()
+                for i, req in enumerate(requests):
+                    lag = start + i * LOAD_INTERVAL - time.perf_counter()
+                    if lag > 0:
+                        time.sleep(lag)
+                    futures.append(front.submit(req))
+                blocks = [f.result(timeout=120) for f in futures]
+                elapsed = time.perf_counter() - start
+                pct = histogram(
+                    "serve.front.request_seconds").percentiles()
+            direct = service.recommend(touched, k=k)
+        answered = np.concatenate(blocks)
+        return pct, elapsed, answered, direct
+
+    exact_pct, exact_elapsed, exact_blocks, exact_direct = run("exact")
+    ann_pct, ann_elapsed, _, ann_direct = run("ann")
+
+    # parity: the front never changes what a request is answered with
+    assert np.array_equal(
+        exact_blocks,
+        np.concatenate([exact_direct[np.searchsorted(touched, req)]
+                        for req in requests]))
+    recall = recall_at_k(ann_direct, exact_direct)
+    assert recall >= DEFAULT_RECALL_BUDGET, (
+        f"ANN recall@{k} {recall:.4f} below the committed budget "
+        f"{DEFAULT_RECALL_BUDGET}")
+    for pct in (exact_pct, ann_pct):
+        assert 0 < pct["p50"] <= pct["p95"] <= pct["p99"]
+
+    record_hotpath_extra("serving_load_test", {
+        "num_users": LOAD_USERS,
+        "num_items": LOAD_ITEMS,
+        "dim": LOAD_DIM,
+        "k": k,
+        "requests": LOAD_REQUESTS,
+        "request_users": LOAD_REQUEST_USERS,
+        "offered_rps": 1.0 / LOAD_INTERVAL,
+        "window_ms": LOAD_WINDOW_MS,
+        "recall_at_20_ann": recall,
+        "p50_seconds_exact": exact_pct["p50"],
+        "p95_seconds_exact": exact_pct["p95"],
+        "p99_seconds_exact": exact_pct["p99"],
+        "p50_seconds_ann": ann_pct["p50"],
+        "p95_seconds_ann": ann_pct["p95"],
+        "p99_seconds_ann": ann_pct["p99"],
+        "achieved_rps_exact": LOAD_REQUESTS / exact_elapsed,
+        "achieved_rps_ann": LOAD_REQUESTS / ann_elapsed,
+    })
+    print(f"\nserving load test ({LOAD_USERS:,} users, "
+          f"{LOAD_ITEMS:,} items, {1.0 / LOAD_INTERVAL:.0f} rps offered, "
+          f"recall@{k} {recall:.4f}):")
+    print(f"  exact p50/p95/p99 (ms): {exact_pct['p50'] * 1e3:.2f}/"
+          f"{exact_pct['p95'] * 1e3:.2f}/{exact_pct['p99'] * 1e3:.2f}")
+    print(f"  ann   p50/p95/p99 (ms): {ann_pct['p50'] * 1e3:.2f}/"
+          f"{ann_pct['p95'] * 1e3:.2f}/{ann_pct['p99'] * 1e3:.2f}")
+
+
 #: sweep-engine microbench grid: 2 models x 4 seeds = 8 cells
 SWEEP_MODELS = ("biasmf", "lightgcn")
 SWEEP_SEEDS = (0, 1, 2, 3)
@@ -848,6 +966,7 @@ if __name__ == "__main__":
     test_evaluator_microbenchmark()
     test_serving_throughput_microbenchmark(
         pathlib.Path(tempfile.mkdtemp()))
+    test_serving_latency_load_test(pathlib.Path(tempfile.mkdtemp()))
     test_sweep_engine_microbenchmark(pathlib.Path(tempfile.mkdtemp()))
     test_dispatch_microbenchmark(pathlib.Path(tempfile.mkdtemp()))
     test_training_hotpath_breakdown()

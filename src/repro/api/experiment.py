@@ -414,13 +414,19 @@ def recommend_topk(snapshot: str, users: Optional[np.ndarray] = None,
                    k: int = 20, num_workers: int = 1,
                    exclude_seen: bool = True,
                    train_spec: Optional[ExperimentSpec] = None,
-                   run_dir: Optional[str] = None) -> Dict:
+                   run_dir: Optional[str] = None,
+                   backend: str = "exact", mmap: bool = False) -> Dict:
     """Serve top-k lists from a snapshot, training one first if missing.
 
     When ``snapshot`` does not exist yet, ``train_spec`` describes the
     run that produces it (its ``artifacts.snapshot`` is forced to the
     snapshot path, so the served lists always come from the artifact —
-    proving the round trip).  Returns a JSON-ready payload::
+    proving the round trip).  ``backend="ann"`` serves through the IVF
+    retrieval index (embedding snapshots only; see
+    :mod:`repro.serve.ann` for the recall budget), and ``mmap=True``
+    memory-maps the embedding tables (format v3 artifacts) so
+    concurrent serving processes share one copy.  Returns a JSON-ready
+    payload::
 
         {"model": ..., "backend": ..., "k": ..., "exclude_seen": ...,
          "num_users": ..., "recommendations": {"<user>": [item, ...]}}
@@ -459,8 +465,9 @@ def recommend_topk(snapshot: str, users: Optional[np.ndarray] = None,
                 snapshot=os.path.abspath(path)))
         Experiment(train_spec).run(run_dir=run_dir)
 
-    with RecommenderService.from_snapshot(path,
-                                          num_workers=num_workers) as service:
+    with RecommenderService.from_snapshot(path, num_workers=num_workers,
+                                          backend=backend,
+                                          mmap=mmap) as service:
         stats = service.stats()
         if users is not None:
             users = np.asarray(users, dtype=np.int64)

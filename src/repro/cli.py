@@ -38,7 +38,8 @@ Examples::
     python -m repro evaluate --model graphaug --dataset gowalla \
         --checkpoint best.npz
     python -m repro recommend --snapshot serve.npz --model lightgcn \
-        --dataset gowalla --users 0,1,2 --k 20 --workers 4
+        --dataset gowalla --users 0,1,2 --k 20 --workers 4 \
+        --backend ann --mmap
     python -m repro worker runs/sweep --drain-when-empty
     python -m repro sweep-status runs/sweep
 """
@@ -166,7 +167,8 @@ def _cmd_recommend(args) -> int:
     payload = recommend_topk(args.snapshot, users=users, k=args.k,
                              num_workers=args.workers,
                              exclude_seen=not args.include_seen,
-                             train_spec=train_spec)
+                             train_spec=train_spec,
+                             backend=args.backend, mmap=args.mmap)
     print(f"serving:  {payload['model']} ({payload['backend']} backend, "
           f"{payload['num_workers']} worker(s))")
     text = json.dumps({"model": payload["model"], "k": payload["k"],
@@ -572,6 +574,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.add_argument("--k", type=int, default=20)
     p_rec.add_argument("--workers", type=int, default=1,
                        help="shard executor thread-pool width")
+    p_rec.add_argument("--backend", default="exact",
+                       choices=["exact", "ann"],
+                       help="retrieval path: exact GEMM (reference) or "
+                            "the IVF ANN index (embedding snapshots)")
+    p_rec.add_argument("--mmap", action="store_true",
+                       help="memory-map the snapshot's embedding tables "
+                            "(uncompressed format-v3 artifacts) so "
+                            "concurrent serving processes share one copy")
     p_rec.add_argument("--include-seen", action="store_true",
                        dest="include_seen",
                        help="do not mask items the user already interacted "

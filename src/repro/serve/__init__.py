@@ -9,18 +9,21 @@ fold new interactions in online via ``partial_update``.
 
 Snapshot format (``repro-serve-snapshot/v1``)
 ---------------------------------------------
-One compressed ``.npz`` artifact (see :mod:`repro.serve.snapshot`):
+One ``.npz`` artifact — **uncompressed** from format v3, which is what
+makes ``load_snapshot(path, mmap=True)`` zero-copy (see
+:mod:`repro.serve.snapshot`):
 
 ====================  ===================================================
 entry                 contents
 ====================  ===================================================
 ``meta_json``         JSON: schema id, ``format_version`` (see
                       :data:`SNAPSHOT_FORMAT_VERSION`; absent =
-                      version 1, migrated on load, newer-than-supported
-                      rejected), model registry name,
-                      :class:`~repro.train.ModelConfig` fields,
+                      version 1, v1/v2 migrated on load,
+                      newer-than-supported rejected), model registry
+                      name, :class:`~repro.train.ModelConfig` fields,
                       construction seed, parameter dtype,
-                      ``num_users`` / ``num_items``, dataset name
+                      ``num_users`` / ``num_items``, dataset name, and
+                      the ``ann`` build config (v3 embedding snapshots)
 ``param::<name>``     every ``state_dict`` array of the model
 ``train_indptr`` /    the train-positive CSR — seen-item exclusion at
 ``train_indices``     serving time *and* the graph for registry rebuilds
@@ -28,6 +31,10 @@ entry                 contents
 ``item_embeddings``   scores are their dot product
                       (``serving_embeddings()`` in
                       :mod:`repro.models.base`)
+``ann::centroids``,   the IVF retrieval index built from the embeddings
+``ann::indptr``,      at snapshot time (v3 embedding snapshots); lets
+``ann::items``        ``backend="ann"`` services skip the k-means
+                      rebuild — older artifacts rebuild it on the fly
 ====================  ===================================================
 
 Any of the registered models round-trips: snapshots with embeddings are
@@ -69,13 +76,19 @@ Typical round trip::
     service.partial_update([3], [topk[0, 0]])   # user 3 consumed an item
 """
 
+from .ann import ANNConfig, IVFIndex, DEFAULT_RECALL_BUDGET, recall_at_k
 from .snapshot import (SNAPSHOT_SCHEMA, SNAPSHOT_FORMAT_VERSION, Snapshot,
-                       load_snapshot, resolve_snapshot_path, save_snapshot)
+                       load_snapshot, resolve_snapshot_path,
+                       save_embedding_snapshot, save_snapshot)
 from .service import RecommenderService
 from .sharding import ShardedExecutor, partition_users
+from .front import AsyncRequestFront, BackpressureError
 
 __all__ = [
     "SNAPSHOT_SCHEMA", "SNAPSHOT_FORMAT_VERSION", "Snapshot",
     "load_snapshot", "resolve_snapshot_path", "save_snapshot",
+    "save_embedding_snapshot",
+    "ANNConfig", "IVFIndex", "DEFAULT_RECALL_BUDGET", "recall_at_k",
+    "AsyncRequestFront", "BackpressureError",
     "RecommenderService", "ShardedExecutor", "partition_users",
 ]

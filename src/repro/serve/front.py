@@ -1,0 +1,238 @@
+"""Async request front: batching window + backpressure for a service.
+
+A :class:`RecommenderService` is fastest when requests arrive in blocks
+— one GEMM (or one index probe) amortizes over many users.  Production
+traffic arrives as many small requests instead.
+:class:`AsyncRequestFront` bridges the two:
+
+* ``submit(user_ids)`` enqueues a request and immediately returns a
+  :class:`concurrent.futures.Future`; a background dispatcher thread
+  collects everything that arrives within a **batching window**
+  (``window_ms``, measured with ``time.monotonic``), concatenates the
+  user ids, answers them with *one* ``service.recommend`` call and
+  slices the block back onto the per-request futures.
+* **Backpressure**: at most ``max_pending_users`` user rows may be
+  queued or in flight; a ``submit`` that would exceed the cap fails
+  fast with :class:`BackpressureError` (and bumps the
+  ``serve.front.rejected`` counter) instead of growing an unbounded
+  queue.  Callers are expected to retry with jitter or shed load.
+* **Observability** (:mod:`repro.obs`): per-request queue-to-answer
+  latency lands in the ``serve.front.request_seconds`` histogram (the
+  load test reads its p50/p95/p99), batch shapes in
+  ``serve.front.batch_users``, and the dispatcher keeps the
+  ``serve.front.queue_depth`` gauge current.  The underlying
+  ``service.recommend`` time still lands in ``serve.request_seconds``
+  as always.
+
+The front preserves the service's answer semantics exactly — batching
+changes *when* a request is answered, never *what* it is answered with:
+requests are never split across batches and results are sliced from the
+batched block in submission order.  ``k`` and ``exclude_seen`` are
+front-level knobs because every request in a batch must share them.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..obs import counter, gauge, histogram
+
+__all__ = ["AsyncRequestFront", "BackpressureError"]
+
+
+class BackpressureError(RuntimeError):
+    """Raised by ``submit`` when the pending-user cap would be exceeded."""
+
+
+class _Pending:
+    """One enqueued request: its user ids, future, and enqueue time."""
+
+    __slots__ = ("user_ids", "future", "enqueued_at")
+
+    def __init__(self, user_ids: np.ndarray, future: Future,
+                 enqueued_at: float):
+        self.user_ids = user_ids
+        self.future = future
+        self.enqueued_at = enqueued_at
+
+
+class AsyncRequestFront:
+    """Batching/backpressure front over a :class:`RecommenderService`.
+
+    Parameters
+    ----------
+    service:
+        The service to answer through (not owned; closing the front
+        does not close the service).
+    window_ms:
+        Batching window: after the first request of a batch arrives,
+        the dispatcher waits at most this long for more before
+        answering.  ``0`` answers every wakeup immediately (lowest
+        latency, least batching).
+    max_batch_users:
+        Per-batch user cap; the dispatcher answers early once the
+        queued requests cover at least this many users.
+    max_pending_users:
+        Backpressure cap on user rows queued + in flight.
+    k, exclude_seen:
+        Passed through to every ``service.recommend`` call (all
+        requests of a batch necessarily share them).
+    """
+
+    def __init__(self, service, *, window_ms: float = 2.0,
+                 max_batch_users: int = 8192,
+                 max_pending_users: int = 65536,
+                 k: int = 20, exclude_seen: bool = True):
+        if window_ms < 0:
+            raise ValueError(f"window_ms must be >= 0, got {window_ms}")
+        if max_batch_users < 1 or max_pending_users < 1:
+            raise ValueError("batch and pending caps must be >= 1")
+        self._service = service
+        self._window = window_ms / 1000.0
+        self._max_batch_users = int(max_batch_users)
+        self._max_pending_users = int(max_pending_users)
+        self._k = int(k)
+        self._exclude_seen = bool(exclude_seen)
+        self._queue: deque = deque()
+        self._pending_users = 0
+        self._closed = False
+        self._cond = threading.Condition()
+        self._latency = histogram(
+            "serve.front.request_seconds",
+            help="submit()-to-answer wall time in seconds")
+        self._batch_sizes = histogram(
+            "serve.front.batch_users",
+            help="user rows answered per dispatched batch",
+            buckets=(1, 8, 64, 256, 1024, 4096, 16384, 65536))
+        self._rejected = counter(
+            "serve.front.rejected",
+            help="submits refused by the backpressure cap")
+        self._depth = gauge("serve.front.queue_depth",
+                            help="user rows queued or in flight")
+        self._thread = threading.Thread(target=self._dispatch_loop,
+                                        name="serve-front", daemon=True)
+        self._thread.start()
+
+    # ------------------------------------------------------------------ #
+    # client side
+    # ------------------------------------------------------------------ #
+    def submit(self, user_ids: Sequence[int]) -> Future:
+        """Enqueue one request; the future resolves to a ``(n, k)`` block.
+
+        Raises :class:`BackpressureError` when accepting the request
+        would put more than ``max_pending_users`` user rows in the
+        queue, and :class:`RuntimeError` after :meth:`close`.
+        """
+        user_ids = np.atleast_1d(np.asarray(user_ids, dtype=np.int64))
+        future: Future = Future()
+        if len(user_ids) == 0:
+            future.set_result(np.empty((0, self._k), dtype=np.int64))
+            return future
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("front is closed")
+            if self._pending_users + len(user_ids) > self._max_pending_users:
+                self._rejected.inc()
+                raise BackpressureError(
+                    f"{self._pending_users} user rows pending, request "
+                    f"for {len(user_ids)} more exceeds the cap of "
+                    f"{self._max_pending_users}")
+            self._queue.append(_Pending(user_ids, future,
+                                        time.monotonic()))
+            self._pending_users += len(user_ids)
+            self._depth.set(self._pending_users)
+            self._cond.notify()
+        return future
+
+    def recommend(self, user_ids: Sequence[int]) -> np.ndarray:
+        """Synchronous convenience: ``submit(user_ids).result()``."""
+        return self.submit(user_ids).result()
+
+    @property
+    def pending_users(self) -> int:
+        """User rows currently queued or in flight."""
+        with self._cond:
+            return self._pending_users
+
+    # ------------------------------------------------------------------ #
+    # dispatcher side
+    # ------------------------------------------------------------------ #
+    def _collect_batch(self) -> Optional[List[_Pending]]:
+        """Block for the next batch (None = closed and drained)."""
+        with self._cond:
+            while not self._queue and not self._closed:
+                self._cond.wait()
+            if not self._queue:
+                return None
+            # the window opens at the first queued request; keep
+            # collecting arrivals until it closes or the batch is full
+            deadline = time.monotonic() + self._window
+            while not self._closed:
+                queued = sum(len(p.user_ids) for p in self._queue)
+                remaining = deadline - time.monotonic()
+                if queued >= self._max_batch_users or remaining <= 0:
+                    break
+                self._cond.wait(timeout=remaining)
+            batch: List[_Pending] = []
+            users = 0
+            while self._queue:
+                nxt = len(self._queue[0].user_ids)
+                if batch and users + nxt > self._max_batch_users:
+                    break
+                pending = self._queue.popleft()
+                batch.append(pending)
+                users += nxt
+            return batch
+
+    def _answer(self, batch: List[_Pending]) -> None:
+        """Answer one batch with a single ``service.recommend`` call."""
+        ids = np.concatenate([p.user_ids for p in batch])
+        self._batch_sizes.observe(len(ids))
+        try:
+            block = self._service.recommend(ids, k=self._k,
+                                            exclude_seen=self._exclude_seen)
+        except BaseException as exc:
+            for pending in batch:
+                pending.future.set_exception(exc)
+            return
+        finally:
+            with self._cond:
+                self._pending_users -= len(ids)
+                self._depth.set(self._pending_users)
+        offset = 0
+        done = time.monotonic()
+        for pending in batch:
+            n = len(pending.user_ids)
+            pending.future.set_result(block[offset:offset + n])
+            self._latency.observe(done - pending.enqueued_at)
+            offset += n
+
+    def _dispatch_loop(self) -> None:
+        """Dispatcher thread body: collect, answer, repeat until drained."""
+        while True:
+            batch = self._collect_batch()
+            if batch is None:
+                return
+            self._answer(batch)
+
+    # ------------------------------------------------------------------ #
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Stop accepting requests, answer what is queued, join the thread."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "AsyncRequestFront":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -19,6 +19,27 @@ Two scoring backends (picked automatically):
   backend scores shards concurrently, though masking/top-k of other
   shards still overlaps model scoring.
 
+On top of the embeddings backend sits a **retrieval** knob,
+``backend="exact" | "ann"`` on :meth:`from_model` /
+:meth:`from_snapshot`:
+
+* ``"exact"`` (default) — the full GEMM against every item, the
+  reference path everything else is tested against.
+* ``"ann"`` — an :class:`~repro.serve.ann.IVFIndex` probes the best
+  item clusters per user and scores only their members, under the
+  recall@20 >= :data:`~repro.serve.ann.DEFAULT_RECALL_BUDGET` parity
+  budget the benches assert.  Candidate scores are scattered into a
+  full-width ``-inf``-filled block, so masking/ranking run through the
+  same :func:`repro.eval.rank_items_block` kernel as the exact path.
+  Requires serving embeddings (model-scored services raise).
+
+Snapshots can be served zero-copy: ``from_snapshot(path, mmap=True)``
+memory-maps the embedding tables (format v3 artifacts), so N serving
+processes share one resident copy.  ``partial_update`` stays safe on
+mapped tables because its embedding refresh is copy-on-write — it
+replaces ``self._user_emb`` with a mutated private copy and never
+writes through the read-only view.
+
 Requests are partitioned into user-id shards by a
 :class:`~repro.serve.sharding.ShardedExecutor` and served concurrently;
 shard boundaries do not depend on worker count, so the N-worker path is
@@ -48,6 +69,7 @@ from typing import Dict, Optional
 import numpy as np
 import scipy.sparse as sp
 
+from .ann import ANNConfig, IVFIndex
 from .sharding import ShardedExecutor
 from .snapshot import Snapshot, load_snapshot
 from ..data import InteractionDataset
@@ -70,13 +92,24 @@ class RecommenderService:
                  item_embeddings: Optional[np.ndarray] = None,
                  model=None, model_name: str = "unknown",
                  num_workers: int = 1,
-                 chunk_size: Optional[int] = None):
+                 chunk_size: Optional[int] = None,
+                 backend: str = "exact",
+                 ann_index: Optional[IVFIndex] = None,
+                 ann_config: Optional[ANNConfig] = None):
         if (user_embeddings is None) != (item_embeddings is None):
             raise ValueError("user and item embeddings must be given "
                              "together")
         if user_embeddings is None and model is None:
             raise ValueError("need either cached embeddings or a model "
                              "to score with")
+        if backend not in ("exact", "ann"):
+            raise ValueError(f"backend must be 'exact' or 'ann', "
+                             f"got {backend!r}")
+        if backend == "ann" and user_embeddings is None:
+            raise ValueError(
+                "backend='ann' needs serving embeddings; model "
+                f"{model_name!r} is scored through score_users and has "
+                "none — serve it with backend='exact'")
         self.num_users = int(num_users)
         self.num_items = int(num_items)
         self.model_name = model_name
@@ -89,6 +122,18 @@ class RecommenderService:
                              f"does not match ({num_users}, {num_items})")
         exclusion.sort_indices()
         self._exclusion = exclusion
+        self._retrieval = backend
+        self._ann_index: Optional[IVFIndex] = None
+        if backend == "ann":
+            index = ann_index
+            if index is None:
+                index = IVFIndex.build(np.asarray(self._item_emb),
+                                       ann_config)
+            if index.num_items != self.num_items:
+                raise ValueError(f"ANN index covers {index.num_items} "
+                                 f"items, service has {self.num_items}")
+            index.enable_probe_cache(self.num_users)
+            self._ann_index = index
         self._executor = ShardedExecutor(num_workers=num_workers,
                                          chunk_size=chunk_size)
         self._update_lock = threading.Lock()
@@ -113,12 +158,17 @@ class RecommenderService:
     @classmethod
     def from_model(cls, model, dataset: InteractionDataset,
                    num_workers: int = 1,
-                   chunk_size: Optional[int] = None) -> "RecommenderService":
+                   chunk_size: Optional[int] = None,
+                   backend: str = "exact",
+                   ann_config: Optional[ANNConfig] = None
+                   ) -> "RecommenderService":
         """Serve a live model; ``dataset.train`` seeds the exclusion CSR.
 
         Models under the embedding-dot contract are frozen into cached
         arrays immediately (the model object is not retained); custom
-        scorers keep the model and go through ``score_users``.
+        scorers keep the model and go through ``score_users``.  With
+        ``backend="ann"`` the IVF index is built from the frozen arrays
+        here (embedding-dot models only).
         """
         embeddings = model.serving_embeddings()
         users, items = (None, None) if embeddings is None else embeddings
@@ -128,35 +178,59 @@ class RecommenderService:
                    user_embeddings=users, item_embeddings=items,
                    model=None if embeddings is not None else model,
                    model_name=getattr(model, "name", type(model).__name__),
-                   num_workers=num_workers, chunk_size=chunk_size)
+                   num_workers=num_workers, chunk_size=chunk_size,
+                   backend=backend, ann_config=ann_config)
 
     @classmethod
     def from_snapshot(cls, snapshot, num_workers: int = 1,
-                      chunk_size: Optional[int] = None
-                      ) -> "RecommenderService":
+                      chunk_size: Optional[int] = None,
+                      backend: str = "exact",
+                      ann_config: Optional[ANNConfig] = None,
+                      mmap: bool = False) -> "RecommenderService":
         """Serve a snapshot (path or :class:`Snapshot`).
 
         Snapshots carrying propagated embeddings are served from the
         arrays alone; others take the registry round-trip
         (:meth:`Snapshot.build_model`) and serve the restored model.
+
+        ``backend="ann"`` restores the snapshot's stored IVF index when
+        present (format v3) and otherwise rebuilds it from the item
+        embeddings — deterministically identical, so pre-v3 artifacts
+        serve approximately too.  ``ann_config`` overrides the stored
+        build config (forcing a rebuild).  ``mmap=True`` (paths only)
+        memory-maps the embedding tables; see
+        :func:`repro.serve.load_snapshot`.
         """
         if not isinstance(snapshot, Snapshot):
-            snapshot = load_snapshot(snapshot)
+            snapshot = load_snapshot(snapshot, mmap=mmap)
+        elif mmap and not snapshot.mmap:
+            raise ValueError("mmap=True needs a snapshot path (or a "
+                             "Snapshot loaded with mmap=True)")
         model = None if snapshot.has_embeddings else snapshot.build_model()
+        index = None
+        if backend == "ann" and snapshot.has_embeddings:
+            if ann_config is None:
+                index = snapshot.build_ann_index()
+            else:
+                index = IVFIndex.build(np.asarray(snapshot.item_embeddings),
+                                       ann_config)
         return cls(num_users=snapshot.num_users,
                    num_items=snapshot.num_items,
                    exclusion=snapshot.train_matrix,
                    user_embeddings=snapshot.user_embeddings,
                    item_embeddings=snapshot.item_embeddings,
                    model=model, model_name=snapshot.model_name,
-                   num_workers=num_workers, chunk_size=chunk_size)
+                   num_workers=num_workers, chunk_size=chunk_size,
+                   backend=backend, ann_index=index)
 
     # ------------------------------------------------------------------ #
     # serving
     # ------------------------------------------------------------------ #
     @property
     def backend(self) -> str:
-        """``"embeddings"`` or ``"model"`` (see the module docstring)."""
+        """``"ann"``, ``"embeddings"`` or ``"model"`` (module docstring)."""
+        if self._ann_index is not None:
+            return "ann"
         return "embeddings" if self._user_emb is not None else "model"
 
     def recommend(self, user_ids: Optional[np.ndarray] = None, k: int = 20,
@@ -187,9 +261,24 @@ class RecommenderService:
             with self._update_lock:
                 exclusion = self._exclusion if exclude_seen else None
                 user_emb, item_emb = self._user_emb, self._item_emb
+                index = self._ann_index
+                # the probe-cache generation travels with the embedding
+                # tables: writes stamped with this value can never be
+                # mistaken for post-update probes (partial_update bumps
+                # the index generation under the same lock)
+                generation = index.generation if index is not None else 0
+            seen_per_user = (np.diff(exclusion.indptr)
+                             if exclusion is not None and index is not None
+                             else None)
 
             def shard_fn(chunk: np.ndarray) -> np.ndarray:
-                if user_emb is not None:
+                if index is not None:
+                    seen = (seen_per_user[chunk]
+                            if seen_per_user is not None else None)
+                    scores = index.candidate_scores(
+                        user_emb, item_emb, chunk, k,
+                        seen_counts=seen, generation=generation)
+                elif user_emb is not None:
                     scores = user_emb[chunk] @ item_emb.T
                 else:
                     with self._model_lock:
@@ -253,6 +342,10 @@ class RecommenderService:
 
             refreshed = 0
             if self._user_emb is not None and refresh_embeddings:
+                # copy-on-write: mutate a private copy, never the shared
+                # (possibly memory-mapped, read-only) table — concurrent
+                # requests keep scoring their captured generation and
+                # mmap'd snapshots stay pristine on disk
                 degrees = np.diff(old.indptr)
                 affected, inverse = np.unique(users, return_inverse=True)
                 dim = self._item_emb.shape[1]
@@ -264,10 +357,17 @@ class RecommenderService:
                                          self._user_emb.dtype)
                 deg = degrees[affected].astype(self._user_emb.dtype)
                 old_vecs = self._user_emb[affected]
-                self._user_emb = self._user_emb.copy()
+                # np.asarray first: .copy() alone would keep the memmap
+                # subclass on mapped tables even though the data moved
+                self._user_emb = np.asarray(self._user_emb).copy()
                 self._user_emb[affected] = ((deg[:, None] * old_vecs + sums)
                                             / (deg + counts)[:, None])
                 refreshed = len(affected)
+                if self._ann_index is not None:
+                    # user vectors moved: drop every cached probe row.
+                    # In-flight requests hold the pre-bump generation,
+                    # so even a late cache write of theirs stays dead
+                    self._ann_index.invalidate()
 
             extra = sp.csr_matrix(
                 (np.ones(len(users)), (users, items)),
@@ -294,7 +394,7 @@ class RecommenderService:
         over every service instance in the process (the registry is a
         process-level sink by design).
         """
-        return {
+        stats = {
             "model": self.model_name,
             "backend": self.backend,
             "num_users": self.num_users,
@@ -308,6 +408,9 @@ class RecommenderService:
             "requests_served": int(self._requests.value),
             "latency_seconds": self._latency.percentiles(),
         }
+        if self._ann_index is not None:
+            stats["ann"] = self._ann_index.stats()
+        return stats
 
     def close(self) -> None:
         """Release the shard executor's thread pool."""

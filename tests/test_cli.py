@@ -99,6 +99,31 @@ class TestRecommend:
                      str(tmp_path / "none.npz")])
         assert code == 2
 
+    def test_ann_backend_roundtrip(self, tmp_path, capsys):
+        import json
+        import os
+        from repro.data import save_tsv, tiny_dataset
+        tsv = str(tmp_path / "edges.tsv")
+        save_tsv(tiny_dataset(seed=9, num_users=40, num_items=30), tsv)
+        snap = str(tmp_path / "serve.npz")
+        # train + write the snapshot through the exact path first
+        # (lightgcn: ANN needs a model under the embedding-dot contract)
+        assert main(["recommend", "--snapshot", snap, "--model",
+                     "lightgcn", "--dataset", tsv, "--epochs", "2",
+                     "--batch-size", "64", "--dim", "8", "--layers", "2",
+                     "--users", "0,3,7", "--k", "5", "--quiet"]) == 0
+        assert os.path.exists(snap)
+        exact = json.loads(capsys.readouterr().out.split("\n", 1)[1])
+        # serve the same artifact through the ANN index, memory-mapped;
+        # at 30 items the index degrades to the exact scan, so the
+        # round trip must agree list-for-list
+        assert main(["recommend", "--snapshot", snap, "--users", "0,3,7",
+                     "--k", "5", "--backend", "ann", "--mmap"]) == 0
+        out = capsys.readouterr().out
+        assert "ann backend" in out
+        ann = json.loads(out.split("\n", 1)[1])
+        assert ann["recommendations"] == exact["recommendations"]
+
 
 class TestDeprecatedEntryPoints:
     """The cmd_*-era helpers survive one release as warning wrappers."""
